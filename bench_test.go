@@ -1,0 +1,148 @@
+package prism_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§7). Each runs the corresponding experiment from internal/bench at a
+// reduced scale and reports the headline virtual-time metric alongside
+// the wall-clock cost of simulating it. Run the full set with:
+//
+//	go test -bench=. -benchmem .
+//
+// For paper-scale runs use cmd/prism-bench with -threads 40 and larger
+// -records/-ops; EXPERIMENTS.md records those results.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ycsb"
+)
+
+// benchRC is the reduced scale used for testing.B runs.
+func benchRC() bench.RunConfig {
+	return bench.RunConfig{Threads: 4, Records: 4000, Ops: 8000}
+}
+
+func reportKops(b *testing.B, name string, kops float64) {
+	b.ReportMetric(kops, name+"-Kops/s")
+}
+
+func BenchmarkFig7YCSBThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res := bench.Fig7(benchRC())
+		reportKops(b, "prism-C", res[bench.EnginePrism][ycsb.WorkloadC].KOpsPerSec())
+		reportKops(b, "kvell-C", res[bench.EngineKVell][ycsb.WorkloadC].KOpsPerSec())
+	}
+}
+
+func BenchmarkTable3Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table3(benchRC())
+	}
+}
+
+func BenchmarkFig8PrismVsSLMDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res := bench.Fig8(benchRC())
+		reportKops(b, "prism-A", res[bench.EnginePrism][ycsb.WorkloadA].KOpsPerSec())
+		reportKops(b, "slmdb-A", res[bench.EngineSLMDB][ycsb.WorkloadA].KOpsPerSec())
+	}
+}
+
+func BenchmarkTable4SLMDBLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table4(benchRC())
+	}
+}
+
+func BenchmarkFig9SkewSweep(b *testing.B) {
+	rc := benchRC()
+	rc.Records = 2000
+	rc.Ops = 3000
+	for i := 0; i < b.N; i++ {
+		bench.Fig9(rc)
+	}
+}
+
+func BenchmarkFig10aLargeDataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig10a(benchRC())
+	}
+}
+
+func BenchmarkFig10bNutanix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig10b(benchRC())
+	}
+}
+
+func BenchmarkFig11ThreadCombining(b *testing.B) {
+	rc := benchRC()
+	rc.Threads = 8
+	for i := 0; i < b.N; i++ {
+		bench.Fig11(rc)
+	}
+}
+
+func BenchmarkFig12WriteAmplification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig12(benchRC())
+	}
+}
+
+func BenchmarkFig13SSDScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig13(benchRC())
+	}
+}
+
+func BenchmarkFig14SSDLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig14(benchRC())
+	}
+}
+
+func BenchmarkFig15aPWBSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig15a(benchRC())
+	}
+}
+
+func BenchmarkFig15bSVCSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig15b(benchRC())
+	}
+}
+
+func BenchmarkFig16MulticoreScalability(b *testing.B) {
+	rc := benchRC()
+	rc.Records = 2000
+	rc.Ops = 6000
+	for i := 0; i < b.N; i++ {
+		bench.Fig16(rc)
+	}
+}
+
+func BenchmarkFig17GCTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, stats := bench.Fig17(benchRC())
+		b.ReportMetric(float64(stats.VS.GCRuns), "gc-runs")
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Ablation(benchRC())
+	}
+}
+
+func BenchmarkNVMSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.NVMSpace(benchRC())
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Recovery(benchRC())
+	}
+}

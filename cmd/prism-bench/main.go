@@ -1,0 +1,90 @@
+// Command prism-bench regenerates the paper's evaluation (§7): every
+// table and figure has a named experiment that prints the corresponding
+// rows or series, measured in virtual time on the simulated devices.
+//
+// Usage:
+//
+//	prism-bench -run fig7                # one experiment
+//	prism-bench -run fig7,table3,fig11   # several
+//	prism-bench -run all                 # everything (slow)
+//	prism-bench -list                    # names
+//
+// Scale knobs (defaults are laptop-friendly; the paper's scale is 100M
+// records x 100M ops on a 40-core testbed):
+//
+//	-threads N   simulated application threads (default 8)
+//	-records N   loaded keyspace (default 10000)
+//	-ops N       measured operations (default 20000)
+//	-value N     value size in bytes (default 1024)
+//	-zipf F      zipfian coefficient (default 0.99)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "comma-separated experiment names, or 'all'")
+		list    = flag.Bool("list", false, "list experiment names and exit")
+		threads = flag.Int("threads", 8, "simulated application threads")
+		records = flag.Int("records", 10000, "records loaded before measuring")
+		ops     = flag.Int("ops", 20000, "operations in the measured phase")
+		value   = flag.Int("value", 1024, "value size in bytes")
+		zipf    = flag.Float64("zipf", 0.99, "zipfian coefficient")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, n := range bench.ExperimentNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		if *run == "" {
+			fmt.Println("\nrun with: prism-bench -run <name>[,<name>...] | all")
+		}
+		return
+	}
+
+	rc := bench.RunConfig{
+		Threads:   *threads,
+		Records:   *records,
+		Ops:       *ops,
+		ValueSize: *value,
+		Zipfian:   *zipf,
+		Seed:      *seed,
+	}
+
+	names := strings.Split(*run, ",")
+	if *run == "all" {
+		names = bench.ExperimentNames()
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		exp, ok := bench.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		for i, tab := range exp(rc) {
+			fmt.Println(tab)
+			if *csvDir != "" {
+				path := fmt.Sprintf("%s/%s_%d.csv", *csvDir, name, i)
+				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,127 @@
+// Command prism-cli is an interactive shell over the Prism public API —
+// a quick way to poke at the store, watch its internal statistics, and
+// exercise crash/recovery by hand.
+//
+// Commands:
+//
+//	put <key> <value>      store a value
+//	get <key>              read a value
+//	del <key>              delete a key
+//	scan <start> <n>       range scan
+//	stats                  engine counters (SVC hits, reclaims, GC, ...)
+//	crash                  simulate power failure + recovery
+//	help | quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	store, err := prism.Open(prism.Options{
+		NumThreads:        1,
+		PWBBytesPerThread: 1 << 20,
+		HSITCapacity:      1 << 18,
+		NumSSDs:           2,
+		SSDBytes:          64 << 20,
+		SVCBytes:          8 << 20,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+	t := store.Thread(0)
+
+	fmt.Println("prism-cli — type 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("prism> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "put":
+			if len(fields) != 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			if err := t.Put([]byte(fields[1]), []byte(fields[2])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, err := t.Get([]byte(fields[1]))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%q\n", v)
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			if err := t.Delete([]byte(fields[1])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "scan":
+			if len(fields) != 3 {
+				fmt.Println("usage: scan <start> <count>")
+				continue
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				fmt.Println("count must be a number")
+				continue
+			}
+			err = t.Scan([]byte(fields[1]), n, func(kv prism.KV) bool {
+				fmt.Printf("  %s = %q\n", kv.Key, kv.Value)
+				return true
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+			}
+		case "stats":
+			s := store.Stats()
+			fmt.Printf("ops: puts=%d gets=%d deletes=%d scans=%d\n", s.Puts, s.Gets, s.Deletes, s.Scans)
+			fmt.Printf("reads: svcHits=%d pwbHits=%d vsReads=%d\n", s.SVCHits, s.PWBHits, s.VSReads)
+			fmt.Printf("writes: reclaims=%d migrated=%d stalls=%d\n", s.Reclaims, s.PWBLiveMigrated, s.PutStalls)
+			fmt.Printf("value storage: chunksWritten=%d gcRuns=%d free=%d\n", s.VS.ChunksWritten, s.VS.GCRuns, s.VS.FreeChunks)
+			fmt.Printf("nvm space: index=%dB hsit=%dB\n", s.IndexSpaceBytes, s.HSITSpaceBytes)
+		case "crash":
+			fmt.Println("simulating power failure...")
+			store.Crash()
+			rep, err := store.Recover()
+			if err != nil {
+				fmt.Println("recovery failed:", err)
+				return
+			}
+			fmt.Printf("recovered %d keys (%d lost, %d drained from PWB) in %.2f virtual ms\n",
+				rep.LiveKeys, rep.LostKeys, rep.PWBValuesDrained, float64(rep.VirtualNS)/1e6)
+		case "help":
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | stats | crash | quit")
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command; try 'help'")
+		}
+	}
+}

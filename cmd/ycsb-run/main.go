@@ -1,0 +1,84 @@
+// Command ycsb-run drives one YCSB workload (Table 2) against any of the
+// implemented engines and prints throughput and the latency distribution
+// — the smallest unit of the paper's evaluation.
+//
+//	ycsb-run -engine prism -workload C -threads 8 -records 20000 -ops 50000
+//	ycsb-run -engine kvell -workload E -zipf 1.2
+//
+// Engines: prism, kvell, matrixkv, rocksdb-nvm, slm-db.
+// Workloads: L (load only), A, B, C, D, E, N (Nutanix mix).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	var (
+		engineName = flag.String("engine", "prism", "engine: "+strings.Join(bench.AllEngines, ", "))
+		workload   = flag.String("workload", "C", "workload: L, A, B, C, D, E, N")
+		threads    = flag.Int("threads", 8, "client threads")
+		records    = flag.Int("records", 10000, "records to load")
+		ops        = flag.Int("ops", 20000, "measured operations")
+		value      = flag.Int("value", 1024, "value size in bytes")
+		zipf       = flag.Float64("zipf", 0.99, "zipfian coefficient")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	w := ycsb.Workload(strings.ToUpper(*workload)[0])
+	switch w {
+	case ycsb.Load, ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC, ycsb.WorkloadD, ycsb.WorkloadE, ycsb.Nutanix:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+
+	th := *threads
+	if *engineName == bench.EngineSLMDB {
+		th = 1 // the open-source SLM-DB is single-threaded (§7.4)
+	}
+	st, err := bench.NewEngine(*engineName, bench.Params{
+		Threads:   th,
+		Records:   *records,
+		ValueSize: *value,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer st.Close()
+
+	rc := bench.RunConfig{
+		Threads:   th,
+		Records:   *records,
+		Ops:       *ops,
+		ValueSize: *value,
+		Zipfian:   *zipf,
+		Seed:      *seed,
+	}
+
+	load := bench.Load(st, *engineName, rc)
+	report("LOAD", load)
+	if w != ycsb.Load {
+		r := bench.Run(st, *engineName, w, rc)
+		report("YCSB-"+string(w), r)
+	}
+	dev, user := st.WriteAmp()
+	if user > 0 {
+		fmt.Printf("SSD write amplification: %.2f (%d device bytes / %d user bytes)\n",
+			float64(dev)/float64(user), dev, user)
+	}
+}
+
+func report(phase string, r bench.Result) {
+	fmt.Printf("%-8s %8.1f Kops/sec  (%d ops in %.2f virtual ms, %d errors)\n",
+		phase, r.KOpsPerSec(), r.Ops, float64(r.VirtualNS)/1e6, r.Errors)
+	fmt.Printf("         latency %s\n", r.Lat)
+}

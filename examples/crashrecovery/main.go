@@ -1,0 +1,86 @@
+// Crash-recovery example: exercise Prism's cross-media crash consistency
+// (§5.5) end to end. Values land in the Persistent Write Buffer and
+// Value Storage; a simulated power failure wipes everything volatile
+// (DRAM cache, validity bitmaps, unflushed NVM cache lines, in-flight SSD
+// writes); recovery rebuilds from the HSIT's forward/backward pointer
+// couplings without any write-ahead log.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	store, err := prism.Open(prism.Options{
+		NumThreads:        2,
+		PWBBytesPerThread: 128 << 10,
+		HSITCapacity:      1 << 16,
+		NumSSDs:           2,
+		SSDBytes:          16 << 20,
+		SVCBytes:          512 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	t := store.Thread(0)
+
+	// Write enough that some values migrate to Value Storage while the
+	// freshest stay in the PWB, then overwrite a few so superseded
+	// versions exist everywhere.
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := t.Put(key(i), val(i, 0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := t.Put(key(i), val(i, 1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := t.Delete(key(7)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d keys (100 overwritten, 1 deleted)\n", n)
+
+	fmt.Println("simulating power failure...")
+	store.Crash()
+
+	rep, err := store.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery: %d live keys, %d lost, %d drained from PWB, %d rebuilt in Value Storage\n",
+		rep.LiveKeys, rep.LostKeys, rep.PWBValuesDrained, rep.VSValuesRecovered)
+	fmt.Printf("modeled recovery time: %.2f virtual ms\n", float64(rep.VirtualNS)/1e6)
+
+	// Verify: every committed write is intact, overwrites kept the latest
+	// version, the delete stayed deleted.
+	for i := 0; i < n; i++ {
+		if i == 7 {
+			if _, err := t.Get(key(i)); err != prism.ErrNotFound {
+				log.Fatalf("deleted key %d resurrected: %v", i, err)
+			}
+			continue
+		}
+		want := val(i, 0)
+		if i < 100 {
+			want = val(i, 1)
+		}
+		got, err := t.Get(key(i))
+		if err != nil || string(got) != string(want) {
+			log.Fatalf("key %d corrupted after recovery: %q, %v", i, got, err)
+		}
+	}
+	fmt.Println("verified: all committed data intact, latest versions won, tombstone held")
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("user%06d", i)) }
+
+func val(i, version int) []byte {
+	return []byte(fmt.Sprintf("value-%06d-v%d-%032d", i, version, i))
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// tiny returns a fast configuration for shape assertions.
+func tiny() RunConfig {
+	return RunConfig{Threads: 4, Records: 3000, Ops: 6000}
+}
+
+func TestLoadAndRunProduceSaneResults(t *testing.T) {
+	st, err := NewEngine(EnginePrism, Params{Threads: 4, Records: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rc := tiny()
+	load := Load(st, EnginePrism, rc)
+	if load.Ops == 0 || load.VirtualNS <= 0 || load.Errors != 0 {
+		t.Fatalf("load result %+v", load)
+	}
+	r := Run(st, EnginePrism, ycsb.WorkloadC, rc)
+	if r.Ops == 0 || r.KOpsPerSec() <= 0 {
+		t.Fatalf("run result %+v", r)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("read-only workload produced %d errors", r.Errors)
+	}
+	if r.Lat.AvgUS <= 0 || r.Lat.P99US < r.Lat.P50US {
+		t.Fatalf("latency summary implausible: %+v", r.Lat)
+	}
+}
+
+func TestEveryEngineRunsEveryWorkload(t *testing.T) {
+	rc := RunConfig{Threads: 2, Records: 1500, Ops: 2000}
+	for _, kind := range AllEngines {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			th := rc.Threads
+			if kind == EngineSLMDB {
+				th = 1
+			}
+			st, err := NewEngine(kind, Params{Threads: th, Records: rc.Records})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			rck := rc
+			rck.Threads = th
+			Load(st, kind, rck)
+			for _, w := range []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC, ycsb.WorkloadD, ycsb.WorkloadE, ycsb.Nutanix} {
+				r := Run(st, kind, w, rck)
+				if r.Ops == 0 {
+					t.Fatalf("workload %c ran no ops", w)
+				}
+				if r.Errors > r.Ops/10 {
+					t.Fatalf("workload %c: %d errors out of %d ops", w, r.Errors, r.Ops)
+				}
+			}
+			dev, user := st.WriteAmp()
+			if user <= 0 || dev <= 0 {
+				t.Fatalf("write accounting: dev=%d user=%d", dev, user)
+			}
+		})
+	}
+}
+
+// Figure 12's headline shape: Prism's PWB coalescing keeps its SSD WAF
+// far below KVell's page-granularity RMW.
+func TestWAFShapePrismBelowKVell(t *testing.T) {
+	rc := tiny()
+	measure := func(kind string) float64 {
+		st, err := NewEngine(kind, Params{Threads: rc.Threads, Records: rc.Records})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		Load(st, kind, rc)
+		d0, u0 := st.WriteAmp()
+		Run(st, kind, ycsb.WorkloadA, rc)
+		d1, u1 := st.WriteAmp()
+		return float64(d1-d0) / float64(u1-u0)
+	}
+	prism := measure(EnginePrism)
+	kvell := measure(EngineKVell)
+	if prism >= kvell {
+		t.Fatalf("WAF shape violated: prism %.2f >= kvell %.2f", prism, kvell)
+	}
+	if prism > 2.0 {
+		t.Fatalf("prism WAF %.2f implausibly high (PWB coalescing broken?)", prism)
+	}
+}
+
+// Figure 11's headline shape: thread combining beats timeout-based async
+// IO at high queue depth on read-only workloads.
+func TestThreadCombiningBeatsTimeoutAtDepth(t *testing.T) {
+	rc := tiny()
+	measure := func(disable bool) float64 {
+		p := Params{Threads: rc.Threads, Records: rc.Records, QueueDepth: 64,
+			PrismMut: func(o *core.Options) { o.DisableCombining = disable; o.SVCBytes = 64 << 10 }}
+		st, err := NewEngine(EnginePrism, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		Load(st, EnginePrism, rc)
+		return Run(st, EnginePrism, ycsb.WorkloadC, rc).KOpsPerSec()
+	}
+	tc := measure(false)
+	ta := measure(true)
+	if tc <= ta {
+		t.Fatalf("TC (%.1f) not faster than TA (%.1f) at QD 64", tc, ta)
+	}
+}
+
+// Figure 16's headline shape: Prism throughput grows with thread count.
+func TestPrismScalesWithThreads(t *testing.T) {
+	measure := func(threads int) float64 {
+		rc := RunConfig{Threads: threads, Records: 3000, Ops: 8000}
+		st, err := NewEngine(EnginePrism, Params{Threads: threads, Records: rc.Records})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		Load(st, EnginePrism, rc)
+		return Run(st, EnginePrism, ycsb.WorkloadB, rc).KOpsPerSec()
+	}
+	t2 := measure(2)
+	t16 := measure(16)
+	if t16 < t2*2 {
+		t.Fatalf("no multicore scaling: 2 threads %.1fK, 16 threads %.1fK", t2, t16)
+	}
+}
+
+func TestRecoveryExperimentRuns(t *testing.T) {
+	tab := Recovery(RunConfig{Threads: 2, Records: 1500, Ops: 1000})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("recovery rows: %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		ms, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || ms <= 0 {
+			t.Fatalf("recovery time cell %q", row[1])
+		}
+	}
+}
+
+func TestNVMSpaceExperiment(t *testing.T) {
+	tab := NVMSpace(RunConfig{Threads: 2, Records: 2000, Ops: 100})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	perRec, err := strconv.ParseFloat(tab.Rows[2][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HSIT is 16 B/record; the index adds key bytes + node overhead. The
+	// paper reports ~54 B/record for 100M pairs.
+	if perRec < 16 || perRec > 400 {
+		t.Fatalf("NVM bytes/record = %.1f implausible", perRec)
+	}
+}
+
+func TestTimelineCollection(t *testing.T) {
+	st, err := NewEngine(EnginePrism, Params{Threads: 2, Records: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rc := RunConfig{Threads: 2, Records: 1500, Ops: 3000, TimelineBucketNS: 1_000_000}
+	Load(st, EnginePrism, rc)
+	r := Run(st, EnginePrism, ycsb.WorkloadA, rc)
+	if len(r.Timeline) == 0 {
+		t.Fatal("no timeline points collected")
+	}
+	var total int64
+	for _, pt := range r.Timeline {
+		total += pt.Ops
+	}
+	if total != r.Ops {
+		t.Fatalf("timeline accounts %d of %d ops", total, r.Ops)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:  "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	out := tab.String()
+	if out == "" || len(out) < 20 {
+		t.Fatalf("render: %q", out)
+	}
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/ycsb"
+)
+
+// DiscussionMedia explores §8's claim that Prism's lessons carry to
+// other storage media: the same engine, unchanged, over different Value
+// Storage device profiles — PCIe 3/4 flash, the PCIe 5 projection, and
+// an ultra-low-latency NVM SSD. Bandwidth-bound phases (LOAD) should
+// track device bandwidth; latency-sensitive reads (YCSB-C misses) should
+// track device latency.
+func DiscussionMedia(rc RunConfig) Table {
+	rc.applyDefaults()
+	t := Table{
+		Title:  "Discussion (§8): Prism across storage media (Kops/sec)",
+		Header: []string{"value-storage device", "LOAD", "YCSB-A", "YCSB-C"},
+	}
+	for _, p := range []devices.Profile{
+		devices.Samsung980,
+		devices.Samsung980Pro,
+		devices.PCIe5Flash,
+		devices.Optane905P,
+	} {
+		prof := p
+		params := Params{Threads: rc.Threads, Records: rc.Records, ValueSize: rc.ValueSize,
+			PrismMut: func(o *core.Options) {
+				cfg := prof.SSDConfig()
+				cfg.Size = o.SSDBytes
+				o.SSD = cfg
+			}}
+		st, err := NewEngine(EnginePrism, params)
+		if err != nil {
+			panic(err)
+		}
+		load := Load(st, EnginePrism, rc)
+		a := Run(st, EnginePrism, ycsb.WorkloadA, rc)
+		c := Run(st, EnginePrism, ycsb.WorkloadC, rc)
+		st.Close()
+		t.Rows = append(t.Rows, []string{prof.Model, f1(load.KOpsPerSec()), f1(a.KOpsPerSec()), f1(c.KOpsPerSec())})
+	}
+	t.Notes = append(t.Notes, "same engine and configuration; only the SSD profile changes")
+	return t
+}
+
+func init() {
+	Experiments["discussion-media"] = func(rc RunConfig) []Table { return []Table{DiscussionMedia(rc)} }
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/kvell"
+	"repro/internal/lsm"
+	"repro/internal/slmdb"
+)
+
+// Engine kinds, matching the paper's configurations of Table 1.
+const (
+	EnginePrism      = "prism"
+	EngineKVell      = "kvell"
+	EngineMatrixKV   = "matrixkv"
+	EngineRocksDBNVM = "rocksdb-nvm"
+	EngineSLMDB      = "slm-db"
+)
+
+// AllEngines lists every implemented engine.
+var AllEngines = []string{EnginePrism, EngineKVell, EngineMatrixKV, EngineRocksDBNVM, EngineSLMDB}
+
+// Params sizes an engine for a dataset, applying Table 1's cost-equal
+// memory split scaled to the (much smaller) simulated dataset:
+// Prism 20% DRAM cache + 16% NVM buffer, KVell 32% DRAM cache,
+// MatrixKV 26% DRAM + 8% NVM — the same ratios as 20/16/32/26/8 GB
+// against the paper's 100 GB dataset.
+type Params struct {
+	Threads    int
+	NumSSDs    int
+	Records    int
+	ValueSize  int
+	QueueDepth int
+
+	// PrismMut lets experiments override Prism options (ablations,
+	// sweeps). Applied after scaling.
+	PrismMut func(*core.Options)
+}
+
+func (p *Params) applyDefaults() {
+	if p.Threads == 0 {
+		p.Threads = 4
+	}
+	if p.NumSSDs == 0 {
+		p.NumSSDs = 2
+	}
+	if p.Records == 0 {
+		p.Records = 10000
+	}
+	if p.ValueSize == 0 {
+		p.ValueSize = 1024
+	}
+	if p.QueueDepth == 0 {
+		p.QueueDepth = 64
+	}
+}
+
+func (p *Params) dataset() int64 { return int64(p.Records) * int64(p.ValueSize) }
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PrismOptions returns the scaled Prism configuration for p.
+func PrismOptions(p Params) core.Options {
+	p.applyDefaults()
+	ds := p.dataset()
+	chunk := clamp64(ds/256, 16<<10, 512<<10) / 16 * 16
+	pwbPer := clamp64(ds*16/100/int64(p.Threads), 64<<10, 1<<30) / 16 * 16
+	opt := core.Options{
+		NumThreads:        p.Threads,
+		PWBBytesPerThread: int(pwbPer),
+		HSITCapacity:      p.Records*4 + 1024,
+		NumSSDs:           p.NumSSDs,
+		SSDBytes:          clamp64(ds*4/int64(p.NumSSDs), 4<<20, 1<<40),
+		ChunkSize:         int(chunk),
+		SVCBytes:          clamp64(ds*20/100, 256<<10, 1<<40),
+		QueueDepth:        p.QueueDepth,
+	}
+	if p.PrismMut != nil {
+		p.PrismMut(&opt)
+	}
+	return opt
+}
+
+// NewEngine opens a cost-equalized engine instance.
+func NewEngine(kind string, p Params) (engine.Store, error) {
+	p.applyDefaults()
+	ds := p.dataset()
+	switch kind {
+	case EnginePrism:
+		return engine.NewPrism(PrismOptions(p))
+	case EngineKVell:
+		item := (p.ValueSize + 32 + 15) / 16 * 16
+		return kvell.Open(kvell.Config{
+			NumSSDs:    p.NumSSDs,
+			SSDBytes:   clamp64(ds*3/int64(p.NumSSDs), 4<<20, 1<<40),
+			ItemSize:   item,
+			CacheBytes: clamp64(ds*32/100, 256<<10, 1<<40),
+			QueueDepth: p.QueueDepth,
+			Clients:    p.Threads,
+		}), nil
+	case EngineMatrixKV:
+		cfg := lsm.MatrixKVConfig(p.Threads, p.NumSSDs, 1)
+		cfg.DataBytes = clamp64(ds*4/int64(p.NumSSDs), 8<<20, 1<<40)
+		cfg.MemtableBytes = clamp64(ds/64, 64<<10, 1<<30)
+		cfg.MatrixCap = clamp64(ds*8/100, 128<<10, 1<<40)
+		cfg.MatrixColumns = 4 // coarser columns at simulation scale so runs drain
+		cfg.BlockCacheBytes = clamp64(ds*26/100, 256<<10, 1<<40)
+		cfg.LevelBaseBytes = 8 * cfg.MemtableBytes
+		cfg.TableTargetBytes = 2 * cfg.MemtableBytes
+		cfg.WALBytes = clamp64(ds/4, 4<<20, 1<<40)
+		return lsm.Open(cfg), nil
+	case EngineRocksDBNVM:
+		cfg := lsm.RocksDBNVMConfig(p.Threads, 1)
+		cfg.DataBytes = clamp64(ds*6, 16<<20, 1<<40)
+		cfg.MemtableBytes = clamp64(ds/64, 64<<10, 1<<30)
+		cfg.BlockCacheBytes = clamp64(ds*26/100, 256<<10, 1<<40)
+		cfg.LevelBaseBytes = 8 * cfg.MemtableBytes
+		cfg.TableTargetBytes = 2 * cfg.MemtableBytes
+		cfg.WALBytes = clamp64(ds/4, 4<<20, 1<<40)
+		return lsm.Open(cfg), nil
+	case EngineSLMDB:
+		return slmdb.Open(slmdb.Config{
+			MemtableBytes:  clamp64(ds/128, 32<<10, 1<<30),
+			SSDBytes:       clamp64(ds*4, 16<<20, 1<<40),
+			PageCacheBytes: clamp64(ds*32/100, 256<<10, 1<<40),
+		}), nil
+	}
+	return nil, fmt.Errorf("bench: unknown engine %q", kind)
+}

@@ -1,0 +1,351 @@
+// Package bench is the evaluation harness: it reproduces every table and
+// figure of the paper's §7 against the engines implemented in this
+// repository. Each experiment has one entry point returning a printable
+// Table plus structured results, so the cmd/prism-bench CLI, the root
+// bench_test.go benchmarks, and the tests all drive the same code.
+//
+// Numbers are produced in virtual time by the device simulators;
+// EXPERIMENTS.md records how the shapes compare with the paper.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/histogram"
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+// RunConfig sizes one workload phase.
+type RunConfig struct {
+	Threads    int
+	Records    int // loaded keyspace
+	Ops        int // operations in the measured phase
+	ValueSize  int
+	Zipfian    float64
+	MaxScanLen int
+	Seed       uint64
+
+	// TimelineBucketNS, when > 0, collects completed-op counts per
+	// virtual-time bucket (Figure 17).
+	TimelineBucketNS int64
+}
+
+func (rc *RunConfig) applyDefaults() {
+	if rc.Threads == 0 {
+		rc.Threads = 4
+	}
+	if rc.Records == 0 {
+		rc.Records = 10000
+	}
+	if rc.Ops == 0 {
+		rc.Ops = 20000
+	}
+	if rc.ValueSize == 0 {
+		rc.ValueSize = 1024
+	}
+	if rc.Zipfian == 0 {
+		rc.Zipfian = 0.99
+	}
+	if rc.MaxScanLen == 0 {
+		rc.MaxScanLen = 100
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 42
+	}
+}
+
+// Result is one (engine, workload) measurement.
+type Result struct {
+	Engine    string
+	Workload  ycsb.Workload
+	Ops       int64
+	VirtualNS int64
+	Lat       histogram.Summary
+	Timeline  []TimelinePoint
+	Errors    int64
+}
+
+// TimelinePoint is one Figure 17 sample.
+type TimelinePoint struct {
+	NS  int64
+	Ops int64
+}
+
+// KOpsPerSec returns throughput in thousands of operations per virtual
+// second.
+func (r Result) KOpsPerSec() float64 {
+	if r.VirtualNS == 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(r.VirtualNS) / 1e9) / 1e3
+}
+
+// MopsPerSec returns throughput in millions of ops per virtual second.
+func (r Result) MopsPerSec() float64 { return r.KOpsPerSec() / 1e3 }
+
+// Load populates store with rc.Records keys (the YCSB LOAD phase) in
+// random order, as §7.1 does, and returns the load-phase result.
+func Load(store engine.Store, name string, rc RunConfig) Result {
+	rc.applyDefaults()
+	cfg := ycsb.Config{
+		Workload:    ycsb.Load,
+		Records:     0,
+		InsertStart: 1, // shared counter hands out 1..Records
+		ValueSize:   rc.ValueSize,
+	}
+	shared := ycsb.NewShared(cfg)
+	return runThreads(store, name, ycsb.Load, rc, cfg, shared, rc.Records)
+}
+
+// Run executes one measured workload phase over an already-loaded store.
+func Run(store engine.Store, name string, w ycsb.Workload, rc RunConfig) Result {
+	rc.applyDefaults()
+	cfg := ycsb.Config{
+		Workload:   w,
+		Records:    uint64(rc.Records),
+		Zipfian:    rc.Zipfian,
+		MaxScanLen: rc.MaxScanLen,
+		ValueSize:  rc.ValueSize,
+	}
+	shared := ycsb.NewShared(cfg)
+	return runThreads(store, name, w, rc, cfg, shared, rc.Ops)
+}
+
+// LoadAndRun is the common load-then-measure sequence.
+func LoadAndRun(store engine.Store, name string, w ycsb.Workload, rc RunConfig) Result {
+	Load(store, name, rc)
+	return Run(store, name, w, rc)
+}
+
+func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, cfg ycsb.Config, shared *ycsb.Shared, totalOps int) Result {
+	threads := rc.Threads
+	if threads > store.NumThreads() {
+		threads = store.NumThreads()
+	}
+	perThread := totalOps / threads
+	if perThread == 0 {
+		perThread = 1
+	}
+
+	type threadOut struct {
+		hist    *histogram.H
+		startNS int64
+		endNS   int64
+		errs    int64
+		times   []int64 // completion timestamps (timeline)
+	}
+	outs := make([]threadOut, threads)
+	// Closed-loop benchmark threads share wall-clock time; keep their
+	// virtual clocks loosely synchronized with a round barrier so that
+	// one thread's backlog is never misread as queueing delay by the
+	// others' shared-resource models.
+	bar := newRoundBarrier(threads)
+	const roundOps = 32
+	var wg sync.WaitGroup
+	for ti := 0; ti < threads; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			kv := store.Thread(ti)
+			gen := ycsb.NewGenerator(cfg, shared, rc.Seed+uint64(ti)*7919)
+			h := histogram.New()
+			clk := kv.Clock()
+			start := clk.Now()
+			var errs int64
+			var times []int64
+			for i := 0; i < perThread; i++ {
+				if i%roundOps == 0 {
+					bar.await(clk)
+				}
+				op := gen.Next()
+				t0 := clk.Now()
+				var err error
+				switch op.Kind {
+				case ycsb.OpInsert, ycsb.OpUpdate:
+					err = kv.Put(op.Key, gen.Value(keyID(op.Key)))
+				case ycsb.OpRead:
+					_, err = kv.Get(op.Key)
+				case ycsb.OpScan:
+					err = kv.Scan(op.Key, op.ScanLen, func(k, v []byte) bool { return true })
+				}
+				if err != nil && !errors.Is(err, engine.ErrNotFound) {
+					errs++
+				}
+				h.Record(clk.Now() - t0)
+				if rc.TimelineBucketNS > 0 {
+					times = append(times, clk.Now())
+				}
+			}
+			outs[ti] = threadOut{hist: h, startNS: start, endNS: clk.Now(), errs: errs, times: times}
+		}(ti)
+	}
+	wg.Wait()
+
+	res := Result{Engine: name, Workload: w}
+	all := histogram.New()
+	for _, o := range outs {
+		all.Merge(o.hist)
+		if d := o.endNS - o.startNS; d > res.VirtualNS {
+			res.VirtualNS = d
+		}
+		res.Errors += o.errs
+		res.Ops += o.hist.Count()
+	}
+	res.Lat = all.Summarize()
+	if rc.TimelineBucketNS > 0 {
+		var ts []int64
+		for _, o := range outs {
+			ts = append(ts, o.times...)
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+		if len(ts) > 0 {
+			end := ts[len(ts)-1]
+			nb := end/rc.TimelineBucketNS + 1
+			counts := make([]int64, nb)
+			for _, t := range ts {
+				counts[t/rc.TimelineBucketNS]++
+			}
+			for b, c := range counts {
+				res.Timeline = append(res.Timeline, TimelinePoint{NS: int64(b) * rc.TimelineBucketNS, Ops: c})
+			}
+		}
+	}
+	return res
+}
+
+// Table is a printable experiment output (a paper table or the series
+// behind a figure).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// roundBarrier synchronizes benchmark threads every round: all arrive,
+// all leave with their clocks advanced to the round's maximum.
+//
+// The release value is bound to the generation at its release instant:
+// a woken sleeper must not observe a maximum already polluted by
+// next-generation arrivals, or each generation would compound every
+// thread's op time into the clock frontier.
+type roundBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	gen     uint64
+	curMax  int64 // max arrival clock of the in-progress generation
+	relMax  int64 // release value of the last completed generation
+}
+
+func newRoundBarrier(n int) *roundBarrier {
+	b := &roundBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *roundBarrier) await(clk *sim.Clock) {
+	if b.n <= 1 {
+		return
+	}
+	b.mu.Lock()
+	if clk.Now() > b.curMax {
+		b.curMax = clk.Now()
+	}
+	b.waiting++
+	if b.waiting == b.n {
+		b.relMax = b.curMax
+		b.curMax = 0
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		gen := b.gen
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+		// Generation g+1 cannot complete before every generation-g
+		// sleeper has woken and re-arrived, so relMax is still ours.
+	}
+	clk.AdvanceTo(b.relMax)
+	b.mu.Unlock()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (for plotting scripts).
+func (t Table) CSV() string {
+	var b strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		return c
+	}
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	write(t.Header)
+	for _, r := range t.Rows {
+		write(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// keyID parses the numeric suffix of a YCSB key ("user%012d").
+func keyID(key []byte) uint64 {
+	var n uint64
+	for _, c := range key {
+		if c >= '0' && c <= '9' {
+			n = n*10 + uint64(c-'0')
+		}
+	}
+	return n
+}

@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSmokeFig7T40(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	rc := RunConfig{Threads: 40, Records: 10000, Ops: 40000}
+	t0 := time.Now()
+	tab, _ := Fig7(rc)
+	fmt.Println(tab)
+	fmt.Println("elapsed:", time.Since(t0))
+}

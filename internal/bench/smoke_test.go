@@ -1,0 +1,15 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSmokeFig7(t *testing.T) {
+	rc := RunConfig{Threads: 4, Records: 4000, Ops: 8000}
+	t0 := time.Now()
+	tab, _ := Fig7(rc)
+	fmt.Println(tab)
+	fmt.Println("elapsed:", time.Since(t0))
+}

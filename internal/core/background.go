@@ -1,0 +1,270 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/hsit"
+	"repro/internal/pwb"
+	"repro/internal/sim"
+	"repro/internal/svc"
+	"repro/internal/valuestore"
+)
+
+// reclaimLoop is PWB i's background reclamation thread (§5.2): it drains
+// the ring past the watermark into Value Storage chunks, off its
+// application thread's critical path. One reclaimer per PWB mirrors the
+// per-thread write-buffer design — reclamation scales with the writers.
+func (s *Store) reclaimLoop(i int) {
+	defer s.bg.Done()
+	rng := sim.NewRNG(s.opt.Seed ^ (0xabcdef + uint64(i)*7919))
+	clk := sim.NewClock(0)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-s.reclaimChs[i]:
+			clk.AdvanceTo(now)
+			s.reclaimBuffer(i, clk, rng)
+			s.em.Collect()
+		}
+	}
+}
+
+// reclaimBuffer migrates the well-coupled (live) values of one PWB into
+// Value Storage (§5.2): scan the ring, keep only records whose HSIT
+// forward pointer still refers back to them, write them chunk by chunk to
+// an idle Value Storage, republish their pointers, and release the ring
+// space after epoch grace.
+func (s *Store) reclaimBuffer(threadID int, clk *sim.Clock, rng *sim.RNG) {
+	b := s.pwbs[threadID]
+	head, tail := b.Head(), b.Tail()
+	if head == tail {
+		return
+	}
+	s.stats.reclaims.Add(1)
+
+	type liveRec struct {
+		idx    uint64
+		devOff uint64
+		val    []byte
+	}
+	var live []liveRec
+	// The ring scan is one large sequential NVM read: charge it in bulk
+	// (per-record latency would overstate a streaming read by ~300x).
+	s.nvmDev.ChargeRead(clk, int(head-tail))
+	b.Scan(nil, tail, head, func(r pwb.Record) bool {
+		p := s.table.Load(clk, r.HSITIdx)
+		// Well-coupled check (§5.2): forward and backward pointers refer
+		// to each other. Ill-coupled records are superseded garbage and
+		// are skipped — only the latest version reaches the SSD, which
+		// is where the write-traffic reduction comes from.
+		if p.Media == hsit.PWB && p.Off == r.DevOff && p.Len == len(r.Value) {
+			live = append(live, liveRec{idx: r.HSITIdx, devOff: r.DevOff, val: r.Value})
+		}
+		return true
+	})
+
+	i := 0
+	for i < len(live) {
+		devIdx, st := s.vsm.PickIdle(rng)
+		w, err := st.NewWriterReserve(s.gcReserve(st))
+		if err != nil {
+			// This store is out of chunks; kick its GC and try any other.
+			s.kickGC(devIdx, clk.Now())
+			w, devIdx, st = s.anyWriter(clk.Now())
+			if w == nil {
+				// Nothing free anywhere: leave the remaining records in
+				// the PWB (tail does not advance; a later reclaim retries
+				// once GC has produced space).
+				return
+			}
+		}
+		var batch []liveRec
+		for i < len(live) && w.Room(len(live[i].val)) {
+			w.Add(live[i].idx, live[i].val)
+			batch = append(batch, live[i])
+			i++
+		}
+		done, entries := w.Commit(clk.Now())
+		clk.AdvanceTo(done)
+		for j, e := range entries {
+			old := hsit.Pointer{Media: hsit.PWB, Len: e.ValueLen, Off: batch[j].devOff}
+			newp := hsit.Pointer{Media: hsit.VS, Len: e.ValueLen, Off: valuestore.GlobalOff(devIdx, e.LocalOff)}
+			if s.table.PublishIf(clk, e.HSITIdx, old, newp) {
+				s.stats.pwbLiveMigrated.Add(1)
+			} else {
+				// A foreground write superseded this value mid-flight.
+				st.Invalidate(e.LocalOff, e.ValueLen)
+			}
+		}
+		s.maybeKickGC(devIdx, st, clk.Now())
+	}
+	// Every live value has been migrated; the whole scanned range is
+	// garbage. Recycle it once no reader can still be inside (§5.4).
+	s.em.Retire(func() { b.ReleaseTo(head) })
+	for {
+		cur := s.reclaimStall[threadID].Load()
+		if clk.Now() <= cur || s.reclaimStall[threadID].CompareAndSwap(cur, clk.Now()) {
+			break
+		}
+	}
+}
+
+// gcReserve is the number of free chunks held back for GC to compact
+// into (log-structured reserve).
+func (s *Store) gcReserve(st *valuestore.Store) int {
+	r := st.Chunks() / 16
+	if r < 2 {
+		r = 2
+	}
+	return r
+}
+
+// anyWriter tries every store for a free chunk (respecting GC reserve).
+func (s *Store) anyWriter(now int64) (*valuestore.Writer, int, *valuestore.Store) {
+	for di, st := range s.vsm.Stores {
+		if w, err := st.NewWriterReserve(s.gcReserve(st)); err == nil {
+			return w, di, st
+		}
+		s.kickGC(di, now)
+	}
+	return nil, 0, nil
+}
+
+func (s *Store) maybeKickGC(devIdx int, st *valuestore.Store, now int64) {
+	if float64(st.FreeChunks())/float64(st.Chunks()) < s.opt.GCFreeFraction {
+		s.kickGC(devIdx, now)
+	}
+}
+
+func (s *Store) kickGC(devIdx int, now int64) {
+	select {
+	case s.gcCh <- gcReq{store: devIdx, now: now}:
+	default:
+	}
+}
+
+// gcLoop runs Value Storage garbage collection (§5.2): when a store's
+// free-chunk fraction drops below the threshold, greedily collect the
+// chunks with the fewest live values. Each Value Storage is collected
+// independently.
+func (s *Store) gcLoop() {
+	defer s.bg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case r := <-s.gcCh:
+			s.gcClk.AdvanceTo(r.now)
+			st := s.vsm.Stores[r.store]
+			for float64(st.FreeChunks())/float64(st.Chunks()) < s.opt.GCFreeFraction {
+				before := st.FreeChunks()
+				freed, done := st.GC(s.gcClk.Now(), 4, func(idx, oldOff, newOff uint64, vlen int) bool {
+					return s.table.PublishIf(s.gcClk,
+						idx,
+						hsit.Pointer{Media: hsit.VS, Len: vlen, Off: valuestore.GlobalOff(r.store, oldOff)},
+						hsit.Pointer{Media: hsit.VS, Len: vlen, Off: valuestore.GlobalOff(r.store, newOff)})
+				})
+				s.gcClk.AdvanceTo(done)
+				s.em.Collect()
+				// Stop on zero NET progress: freed counts victims, but a
+				// pass also consumes output chunks.
+				if freed == 0 || st.FreeChunks() <= before {
+					break
+				}
+			}
+		}
+	}
+}
+
+// onScanEvict is the SVC rewrite hook (§4.4 steps 5-6): when a chained
+// (scanned) entry is evicted, the resident chain is sorted by key and
+// written into a single fresh Value Storage chunk, restoring spatial
+// locality for the key range. Runs on the cache manager goroutine.
+func (s *Store) onScanEvict(chain svc.EvictedChain) {
+	s.svcMu.Lock()
+	defer s.svcMu.Unlock()
+	clk := s.svcClk
+
+	entries := chain.Entries
+	sort.Slice(entries, func(a, b int) bool {
+		return string(entries[a].Key) < string(entries[b].Key)
+	})
+
+	type staged struct {
+		e   *svc.Entry
+		old hsit.Pointer
+	}
+	var todo []staged
+	for _, e := range entries {
+		p := s.table.Load(clk, e.HSITIdx)
+		// Only values still resident in Value Storage with unchanged
+		// content participate; anything updated meanwhile is skipped.
+		if p.Media == hsit.VS && p.Len == len(e.Value) {
+			todo = append(todo, staged{e: e, old: p})
+		}
+	}
+	if len(todo) < 2 {
+		return
+	}
+	// Skip ranges that already sit contiguously on the SSD: rewriting
+	// them gains no locality, and the relocation churn would invalidate
+	// in-flight scans of the same range. (The paper rewrites to *create*
+	// spatial locality; once created, the range stays put.)
+	adjacent := 0
+	for i := 1; i < len(todo); i++ {
+		prev, cur := todo[i-1].old, todo[i].old
+		gap := int64(cur.Off) - int64(prev.Off) - int64(valuestore.RecordSize(prev.Len))
+		if gap >= 0 && gap <= mergeGap {
+			adjacent++
+		}
+	}
+	if adjacent*10 >= (len(todo)-1)*7 {
+		return
+	}
+	// Pace reorganization: at simulation scale the SVC cycles its whole
+	// capacity in milliseconds, so unthrottled eviction-time rewrites
+	// would relocate hot ranges out from under the scans they are meant
+	// to help. One rewrite per couple of virtual milliseconds matches the
+	// paper's effective rate (its 20 GB cache evicts a range rarely).
+	if clk.Now()-s.lastRewrite < 2_000_000 {
+		return
+	}
+	s.lastRewrite = clk.Now()
+
+	rng := sim.NewRNG(uint64(clk.Now()) | 1)
+	devIdx, st := s.vsm.PickIdle(rng)
+	w, err := st.NewWriterReserve(s.gcReserve(st))
+	if err != nil {
+		return // no space: skip the rewrite, correctness unaffected
+	}
+	var batch []staged
+	commit := func() {
+		done, committed := w.Commit(clk.Now())
+		clk.AdvanceTo(done)
+		for j, ce := range committed {
+			newp := hsit.Pointer{Media: hsit.VS, Len: ce.ValueLen, Off: valuestore.GlobalOff(devIdx, ce.LocalOff)}
+			if s.table.PublishIf(clk, ce.HSITIdx, batch[j].old, newp) {
+				s.vsm.Invalidate(batch[j].old.Off, batch[j].old.Len)
+			} else {
+				st.Invalidate(ce.LocalOff, ce.ValueLen)
+			}
+		}
+		batch = nil
+	}
+	for _, t := range todo {
+		if !w.Room(len(t.e.Value)) {
+			commit()
+			w, err = st.NewWriterReserve(s.gcReserve(st))
+			if err != nil {
+				s.stats.scanRewrites.Add(1)
+				return
+			}
+		}
+		w.Add(t.e.HSITIdx, t.e.Value)
+		batch = append(batch, t)
+	}
+	commit()
+	s.stats.scanRewrites.Add(1)
+	s.maybeKickGC(devIdx, st, clk.Now())
+}

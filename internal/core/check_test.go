@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hsit"
+)
+
+// settle stops all background work so the checker sees a stable store
+// (CheckInvariants requires quiescence). Operations are done by the time
+// tests call this; Close is idempotent with the test cleanup.
+func settle(s *Store) {
+	if s.cache != nil {
+		s.cache.Sync()
+	}
+	s.em.Barrier()
+	s.Close()
+}
+
+func TestCheckerCleanStore(t *testing.T) {
+	s := small(t, nil)
+	th := s.Thread(0)
+	const n = 2500 // spans PWB and Value Storage residency
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 5 {
+		th.Get(key(i)) // populate the SVC
+	}
+	for i := 0; i < n; i += 9 {
+		th.Delete(key(i))
+	}
+	settle(s)
+	rep := s.CheckInvariants()
+	if !rep.OK() {
+		t.Fatalf("invariant violations on a clean store: %v", rep.Problems)
+	}
+	if rep.LiveKeys != s.Len() {
+		t.Fatalf("checker visited %d keys, store has %d", rep.LiveKeys, s.Len())
+	}
+	if rep.VSResident == 0 {
+		t.Fatalf("expected Value Storage residency: %+v", rep)
+	}
+	// PWBResident may legitimately be zero if background reclamation
+	// drained the rings before the check — don't assert on it.
+}
+
+func TestCheckerAfterRecovery(t *testing.T) {
+	s := small(t, nil)
+	th := s.Thread(0)
+	for i := 0; i < 2000; i++ {
+		th.Put(key(i), value(i))
+	}
+	s.Crash()
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	settle(s)
+	rep := s.CheckInvariants()
+	if !rep.OK() {
+		t.Fatalf("invariant violations after recovery: %v", rep.Problems)
+	}
+}
+
+func TestCheckerDetectsIllCoupling(t *testing.T) {
+	s := small(t, nil)
+	th := s.Thread(0)
+	th.Put(key(1), value(1))
+	idx, ok := s.index.Lookup(nil, key(1))
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	// Corrupt the forward pointer: point it at a bogus PWB offset.
+	s.table.Publish(nil, idx, hsit.Pointer{Media: hsit.PWB, Len: 3, Off: uint64(s.pwbBase + 4096)})
+	rep := s.CheckInvariants()
+	if rep.OK() {
+		t.Fatal("checker missed a corrupted forward pointer")
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "unparseable") || strings.Contains(p, "ill-coupled") || strings.Contains(p, "mismatch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unexpected problem set: %v", rep.Problems)
+	}
+}
+
+func TestCheckerDetectsClearedValidityBit(t *testing.T) {
+	s := small(t, nil)
+	th := s.Thread(0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		th.Put(key(i), value(i))
+	}
+	drain(t, s) // push everything to Value Storage
+	// Clear one live record's validity bit behind the engine's back.
+	idx, ok := s.index.Lookup(nil, key(77))
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	p := s.table.Load(nil, idx)
+	if p.Media != hsit.VS {
+		t.Skip("key 77 not VS-resident after drain")
+	}
+	s.vsm.Invalidate(p.Off, p.Len)
+	rep := s.CheckInvariants()
+	if rep.OK() {
+		t.Fatal("checker missed a cleared validity bit")
+	}
+}
+
+func TestCheckerProblemCap(t *testing.T) {
+	var rep CheckReport
+	for i := 0; i < 100; i++ {
+		rep.problem("p%d", i)
+	}
+	if len(rep.Problems) != 32 || rep.ProblemsOmitted != 68 {
+		t.Fatalf("cap broken: %d problems, %d omitted", len(rep.Problems), rep.ProblemsOmitted)
+	}
+	if rep.OK() {
+		t.Fatal("OK with problems")
+	}
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/hsit"
+	"repro/internal/pwb"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/valuestore"
+)
+
+// pwbFullErr aliases the PWB's full signal for the retry loop.
+var pwbFullErr = pwb.ErrFull
+
+// dramCost models a DRAM copy: ~80ns latency plus 15 GB/s transfer.
+func dramCost(n int) int64 { return 80 + sim.TransferNS(n, 15_000_000_000) }
+
+func cloneBytes(b []byte) []byte { return append([]byte(nil), b...) }
+
+// errRetryPut signals that a Put attempt must restart outside its epoch
+// (the PWB was full; space can only be released once the thread unpins).
+var errRetryPut = errors.New("prism: retry put")
+
+// Put inserts or updates key with value. The write is durable when Put
+// returns (§5.4 durable linearizability): the value is persisted in the
+// thread's PWB before its HSIT forward pointer is published.
+func (t *Thread) Put(key, value []byte) error {
+	s := t.s
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if len(value) > hsit.MaxValueLen {
+		return fmt.Errorf("prism: value of %d bytes exceeds max %d", len(value), hsit.MaxValueLen)
+	}
+	s.stats.puts.Add(1)
+	s.stats.userBytesWritten.Add(int64(len(value)))
+	for attempt := 0; attempt < 1_000_000; attempt++ {
+		err := t.putOnce(key, value)
+		if err != errRetryPut {
+			if err == nil {
+				t.maybeKickReclaim()
+			}
+			return err
+		}
+		// Stalled on a full PWB: help epochs along (so retired ring space
+		// and chunks land) and wait, in virtual time, until the latest
+		// reclamation pass has finished.
+		s.em.Collect()
+		runtime.Gosched()
+		t.Clk.AdvanceTo(s.reclaimStall[t.id].Load())
+	}
+	return errors.New("prism: PWB reclamation stalled")
+}
+
+// putOnce performs one epoch-scoped write attempt.
+func (t *Thread) putOnce(key, value []byte) error {
+	s := t.s
+	t.part.Enter()
+	defer t.part.Exit()
+
+	idx, found := s.index.Lookup(t.Clk, key)
+	if !found {
+		var err error
+		idx, err = s.table.Alloc(t.Clk)
+		if err != nil {
+			return err
+		}
+	}
+	if err := t.writeAndPublish(idx, value); err != nil {
+		if !found {
+			s.table.Free(idx) // never published, never inserted
+		}
+		return err
+	}
+	if !found {
+		winner, inserted := s.index.Insert(t.Clk, key, idx)
+		if !inserted {
+			// Another thread inserted the key first. Our entry is
+			// orphaned: clear it and redo the write against the winner's
+			// entry (the record must carry the winner's backward pointer
+			// to stay well-coupled).
+			old := s.table.Clear(t.Clk, idx)
+			t.invalidateOld(idx, old)
+			s.table.Free(idx)
+			return t.writeAndPublish(winner, value)
+		}
+	}
+	return nil
+}
+
+// writeAndPublish appends the value to the thread's PWB with idx as its
+// backward pointer and publishes the new location in HSIT, invalidating
+// whatever the entry pointed to before.
+func (t *Thread) writeAndPublish(idx uint64, value []byte) error {
+	s := t.s
+	off, _, err := t.buf.Append(t.Clk, idx, value)
+	if err == pwbFullErr {
+		s.stats.putStalls.Add(1)
+		if s.opt.SyncVSWrites {
+			s.reclaimBuffer(t.id, t.Clk, t.rng)
+		} else {
+			t.kickReclaim()
+		}
+		return errRetryPut
+	}
+	if err != nil {
+		return err
+	}
+	old := s.table.Publish(t.Clk, idx, hsit.Pointer{Media: hsit.PWB, Len: len(value), Off: off})
+	t.invalidateOld(idx, old)
+	if s.opt.SyncVSWrites && t.buf.Used() >= s.opt.ChunkSize {
+		// Ablation: no asynchronous bandwidth-optimized write — the
+		// application thread migrates PWB contents to Value Storage on
+		// its own clock, putting the SSD write on the critical path.
+		s.reclaimBuffer(t.id, t.Clk, t.rng)
+	}
+	return nil
+}
+
+// maybeKickReclaim triggers background reclamation at the watermark
+// (§4.3: 50% utilization).
+func (t *Thread) maybeKickReclaim() {
+	if t.s.opt.SyncVSWrites {
+		return
+	}
+	if t.buf.Utilization() >= t.s.opt.ReclaimWatermark {
+		t.kickReclaim()
+	}
+}
+
+func (t *Thread) kickReclaim() {
+	select {
+	case t.s.reclaimChs[t.id] <- t.Clk.Now():
+	default:
+	}
+}
+
+// invalidateOld cleans up the location a Publish displaced: a superseded
+// Value Storage record loses its validity bit; a superseded PWB record
+// simply becomes ill-coupled (§4.3). Any cached copy is unpublished and
+// dropped, since it now holds a stale value.
+func (t *Thread) invalidateOld(idx uint64, old hsit.Pointer) {
+	s := t.s
+	if old.Media == hsit.VS {
+		s.vsm.Invalidate(old.Off, old.Len)
+	}
+	if s.cache != nil {
+		if h := s.table.LoadSVC(t.Clk, idx); h != 0 {
+			if s.table.CasSVC(t.Clk, idx, h, 0) {
+				s.cache.Invalidate(idx, h)
+			}
+		}
+	}
+}
+
+// Get returns the current value for key. Resolution order is the paper's
+// fast-path order: SVC (DRAM) -> PWB (NVM) -> Value Storage (SSD, via
+// thread combining), admitting SSD-read values into the SVC (§4.4).
+func (t *Thread) Get(key []byte) ([]byte, error) {
+	s := t.s
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	t.part.Enter()
+	defer t.part.Exit()
+	s.stats.gets.Add(1)
+
+	idx, ok := s.index.Lookup(t.Clk, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		val, err, retry := t.resolve(idx, key, true)
+		if !retry {
+			return val, err
+		}
+	}
+	return nil, fmt.Errorf("prism: value for %q kept moving; giving up", key)
+}
+
+// resolve reads the value behind HSIT entry idx once. retry reports that
+// the location changed mid-read (reclamation/GC migration) and the caller
+// should re-resolve.
+func (t *Thread) resolve(idx uint64, key []byte, admit bool) (val []byte, err error, retry bool) {
+	s := t.s
+	if s.cache != nil {
+		if h := s.table.LoadSVC(t.Clk, idx); h != 0 {
+			if v, ok := s.cache.Lookup(idx, h); ok {
+				t.Clk.Advance(dramCost(len(v)))
+				s.stats.svcHits.Add(1)
+				return cloneBytes(v), nil, false
+			}
+		}
+	}
+	p := s.table.Load(t.Clk, idx)
+	switch p.Media {
+	case hsit.None:
+		return nil, ErrNotFound, false
+	case hsit.PWB:
+		v := s.pwbOf(p.Off).ReadValue(t.Clk, p.Off, p.Len)
+		if s.table.Load(nil, idx) != p {
+			return nil, nil, true // superseded while reading
+		}
+		s.stats.pwbHits.Add(1)
+		return v, nil, false
+	case hsit.VS:
+		devIdx, local := valuestore.SplitOff(p.Off)
+		if !s.vsm.Stores[devIdx].IsValid(local) {
+			return nil, nil, true // migrated before we read
+		}
+		data := s.readVS(t.Clk, p)
+		backptr, v, ok := valuestore.DecodeRecord(data)
+		if !ok || backptr != idx || len(v) != p.Len {
+			return nil, nil, true // chunk recycled under us
+		}
+		if admit {
+			t.admitToSVC(idx, key, v)
+		}
+		return cloneBytes(v), nil, false
+	}
+	return nil, nil, true
+}
+
+// admitToSVC publishes a freshly read value in the cache (§4.4: admission
+// only on Value Storage reads, lock-free HSIT publication).
+func (t *Thread) admitToSVC(idx uint64, key, value []byte) (handle uint64, admitted bool) {
+	s := t.s
+	if s.cache == nil {
+		return 0, false
+	}
+	e := s.cache.Admit(idx, key, value)
+	if s.table.CasSVC(t.Clk, idx, 0, e.Handle()) {
+		s.cache.Published(e)
+		return e.Handle(), true
+	}
+	s.cache.AbortAdmit(e)
+	return 0, false
+}
+
+// Delete removes key. The HSIT entry is reclaimed after two epochs
+// (§5.4: safe reclamation of deleted values and entries).
+func (t *Thread) Delete(key []byte) error {
+	s := t.s
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	t.part.Enter()
+	defer t.part.Exit()
+	s.stats.deletes.Add(1)
+
+	idx, ok := s.index.Delete(t.Clk, key)
+	if !ok {
+		return ErrNotFound
+	}
+	old := s.table.Clear(t.Clk, idx)
+	t.invalidateOld(idx, old)
+	s.table.Free(idx)
+	return nil
+}
+
+// KV is one key-value pair yielded by Scan.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan visits up to count pairs with key >= start in key order, calling
+// fn for each until it returns false. Values resident only in Value
+// Storage are fetched in merged, batched reads, and are admitted to the
+// SVC chained together so that an eviction rewrites the whole range into
+// one chunk (§4.4 scan acceleration).
+func (t *Thread) Scan(start []byte, count int, fn func(kv KV) bool) error {
+	s := t.s
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	t.part.Enter()
+	defer t.part.Exit()
+	s.stats.scans.Add(1)
+
+	var items []*scanItem
+	s.index.Scan(t.Clk, start, count, func(key []byte, idx uint64) bool {
+		items = append(items, &scanItem{key: cloneBytes(key), idx: idx})
+		return true
+	})
+
+	// Resolve fast paths; collect Value Storage residents for batching.
+	var pending []*scanItem
+	for _, it := range items {
+		if s.cache != nil {
+			if h := s.table.LoadSVC(t.Clk, it.idx); h != 0 {
+				if v, ok := s.cache.Lookup(it.idx, h); ok {
+					t.Clk.Advance(dramCost(len(v)))
+					s.stats.svcHits.Add(1)
+					it.val = cloneBytes(v)
+					continue
+				}
+			}
+		}
+		p := s.table.Load(t.Clk, it.idx)
+		switch p.Media {
+		case hsit.PWB:
+			v := s.pwbOf(p.Off).ReadValue(t.Clk, p.Off, p.Len)
+			if s.table.Load(nil, it.idx) == p {
+				s.stats.pwbHits.Add(1)
+				it.val = v
+				continue
+			}
+			it.val, _, _ = t.getOnce(it.idx, it.key)
+		case hsit.VS:
+			it.p = p
+			pending = append(pending, it)
+		default:
+			// Deleted between index scan and resolution: skip.
+		}
+	}
+	t.readVSBatch(pending)
+
+	for _, it := range items {
+		if it.val == nil {
+			continue
+		}
+		if !fn(KV{Key: it.key, Value: it.val}) {
+			break
+		}
+	}
+	return nil
+}
+
+// getOnce is the slow-path fallback for values that moved mid-scan.
+func (t *Thread) getOnce(idx uint64, key []byte) ([]byte, error, bool) {
+	for attempt := 0; attempt < 1000; attempt++ {
+		v, err, retry := t.resolve(idx, key, false)
+		if !retry {
+			return v, err, false
+		}
+	}
+	return nil, ErrNotFound, false
+}
+
+// scanItem tracks one key through scan resolution.
+type scanItem struct {
+	key []byte
+	idx uint64
+	val []byte
+	p   hsit.Pointer // set when pending a Value Storage read
+}
+
+// mergeGap is the maximum gap (bytes) between two records on the same
+// device that still coalesces them into one read IO.
+const mergeGap = 4096
+
+// readVSBatch fetches the pending items' records with merged extents:
+// records adjacent on the same device (within mergeGap bytes) coalesce
+// into one IO — this is why the SVC's sorted rewrite reduces scan IO.
+func (t *Thread) readVSBatch(pending []*scanItem) {
+	if len(pending) == 0 {
+		return
+	}
+	s := t.s
+
+	type located struct {
+		it    *scanItem
+		dev   int
+		off   uint64 // device-local record offset
+		recSz int
+	}
+	locs := make([]located, 0, len(pending))
+	for _, it := range pending {
+		dev, local := valuestore.SplitOff(it.p.Off)
+		locs = append(locs, located{it: it, dev: dev, off: local, recSz: valuestore.HeaderSize + it.p.Len})
+	}
+	sort.Slice(locs, func(a, b int) bool {
+		if locs[a].dev != locs[b].dev {
+			return locs[a].dev < locs[b].dev
+		}
+		return locs[a].off < locs[b].off
+	})
+
+	type extent struct {
+		dev        int
+		start, end uint64
+		members    []located
+	}
+	var extents []*extent
+	for _, l := range locs {
+		if n := len(extents); n > 0 {
+			e := extents[n-1]
+			if e.dev == l.dev && l.off >= e.start && l.off <= e.end+mergeGap {
+				if end := l.off + uint64(l.recSz); end > e.end {
+					e.end = end
+				}
+				e.members = append(e.members, l)
+				continue
+			}
+		}
+		extents = append(extents, &extent{dev: l.dev, start: l.off, end: l.off + uint64(l.recSz), members: []located{l}})
+	}
+
+	// Submit one IO per extent through the batching scheme.
+	for _, e := range extents {
+		buf := make([]byte, e.end-e.start)
+		r := ssd.Request{Op: ssd.OpRead, Offset: int64(e.start), Data: buf}
+		var done int64
+		if s.opt.DisableCombining {
+			done = s.tas[e.dev].Read(t.Clk.Now(), r)
+		} else {
+			done = s.queues[e.dev].Read(t.Clk.Now(), r)
+		}
+		t.Clk.AdvanceTo(done)
+		s.stats.vsReads.Add(1)
+		for _, m := range e.members {
+			rec := buf[m.off-e.start:]
+			backptr, v, ok := valuestore.DecodeRecord(rec)
+			if !ok || backptr != m.it.idx || len(v) != m.it.p.Len {
+				// Moved mid-scan: fall back to an individual resolve.
+				m.it.val, _, _ = t.getOnce(m.it.idx, m.it.key)
+				continue
+			}
+			m.it.val = cloneBytes(v)
+		}
+	}
+
+	// Admit the batch to the SVC and chain it in key order (§4.4). A
+	// range served by one merged extent is already contiguous on the
+	// SSD — chaining it would only invite a pointless rewrite later.
+	if s.cache != nil {
+		var handles []uint64
+		for _, it := range pending {
+			if it.val == nil {
+				continue
+			}
+			if h, ok := t.admitToSVC(it.idx, it.key, it.val); ok {
+				handles = append(handles, h)
+			}
+		}
+		if !s.opt.DisableScanSort && len(handles) >= 2 && len(extents) > 1 {
+			s.cache.LinkChain(handles)
+		}
+	}
+}

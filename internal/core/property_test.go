@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Property: under a random op sequence (with crashes injected), the
+// store always agrees with an in-memory reference model — every
+// committed write is durable, every delete holds, reads never return
+// stale or torn values.
+func TestStoreMatchesModelWithCrashes(t *testing.T) {
+	f := func(seed uint64) bool {
+		s, err := Open(Options{
+			NumThreads:        1,
+			PWBBytesPerThread: 64 << 10,
+			HSITCapacity:      1 << 12,
+			NumSSDs:           1,
+			SSDBytes:          4 << 20,
+			ChunkSize:         16 << 10,
+			SVCBytes:          32 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		th := s.Thread(0)
+		rng := sim.NewRNG(seed)
+		ref := map[string]string{}
+		for i := 0; i < 1200; i++ {
+			k := fmt.Sprintf("key%03d", rng.Intn(150))
+			switch rng.Intn(12) {
+			case 0:
+				if err := th.Delete([]byte(k)); err == nil {
+					delete(ref, k)
+				} else if _, exists := ref[k]; exists {
+					t.Errorf("delete of existing %q failed: %v", k, err)
+					return false
+				}
+			case 1, 2, 3:
+				got, err := th.Get([]byte(k))
+				want, exists := ref[k]
+				if exists != (err == nil) {
+					t.Errorf("get %q: err=%v, model exists=%v", k, err, exists)
+					return false
+				}
+				if exists && string(got) != want {
+					t.Errorf("get %q = %q, model %q", k, got, want)
+					return false
+				}
+			case 4:
+				if i%97 == 0 { // occasional crash+recover
+					s.Crash()
+					if _, err := s.Recover(); err != nil {
+						t.Errorf("recover: %v", err)
+						return false
+					}
+				}
+			default:
+				v := fmt.Sprintf("val-%d-%d", i, rng.Uint64()%1000)
+				if err := th.Put([]byte(k), []byte(v)); err != nil {
+					t.Errorf("put: %v", err)
+					return false
+				}
+				ref[k] = v
+			}
+		}
+		// Final full agreement, including scan order.
+		if s.Len() != len(ref) {
+			t.Errorf("Len %d != model %d", s.Len(), len(ref))
+			return false
+		}
+		seen := 0
+		ok := true
+		th.Scan(nil, 0, func(kv KV) bool {
+			want, exists := ref[string(kv.Key)]
+			if !exists || want != string(kv.Value) {
+				ok = false
+				return false
+			}
+			seen++
+			return true
+		})
+		return ok && seen == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent per-thread key ownership — each thread's final
+// writes are exactly what it reads back, across enough volume to force
+// reclamation and GC.
+func TestConcurrentOwnershipProperty(t *testing.T) {
+	s := small(t, func(o *Options) {
+		o.NumThreads = 4
+		o.SSDBytes = 8 << 20
+	})
+	const per = 1500
+	var wg sync.WaitGroup
+	finals := make([]map[int]int, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := s.Thread(w)
+			rng := sim.NewRNG(uint64(w) + 99)
+			final := map[int]int{}
+			for i := 0; i < per; i++ {
+				k := rng.Intn(200)
+				v := i
+				if err := th.Put([]byte(fmt.Sprintf("own%d-%04d", w, k)), []byte(fmt.Sprintf("v%06d", v))); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				final[k] = v
+			}
+			finals[w] = final
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		th := s.Thread(w)
+		for k, v := range finals[w] {
+			got, err := th.Get([]byte(fmt.Sprintf("own%d-%04d", w, k)))
+			if err != nil || !bytes.Equal(got, []byte(fmt.Sprintf("v%06d", v))) {
+				t.Fatalf("thread %d key %d: %q, %v", w, k, got, err)
+			}
+		}
+	}
+	// And the whole store passes the invariant checker.
+	settle(s)
+	if rep := s.CheckInvariants(); !rep.OK() {
+		t.Fatalf("invariants violated: %v", rep.Problems)
+	}
+}
+
+// Deletes of missing keys and empty-value writes behave sanely.
+func TestEdgeValues(t *testing.T) {
+	s := small(t, nil)
+	th := s.Thread(0)
+	if err := th.Put([]byte("empty"), nil); err != nil {
+		t.Fatalf("nil value rejected: %v", err)
+	}
+	got, err := th.Get([]byte("empty"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty value round trip: %q, %v", got, err)
+	}
+	if err := th.Put([]byte("k"), make([]byte, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Delete([]byte("never-existed")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+	// Large (but legal) value.
+	big := make([]byte, 8192)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := th.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	got, err = th.Get([]byte("big"))
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("big value round trip failed: len=%d err=%v", len(got), err)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/hsit"
+	"repro/internal/sim"
+	"repro/internal/svc"
+	"repro/internal/valuestore"
+)
+
+// RecoveryReport summarizes a recovery pass (§5.5, §7.6 recovery time).
+type RecoveryReport struct {
+	LiveKeys          int
+	LostKeys          int   // index entries whose durable value was unreachable
+	PWBValuesDrained  int   // live PWB values migrated to Value Storage
+	VSValuesRecovered int   // validity bits rebuilt from HSIT
+	VirtualNS         int64 // modeled recovery time (max over parallel workers)
+}
+
+// Crash simulates a power failure: background work stops, every device
+// loses its volatile/in-flight state, and all DRAM-resident structures
+// become untrustworthy. Call Recover before using the store again.
+//
+// The key index object survives in-process because the paper's index
+// (PACTree) guarantees its own crash consistency on NVM (§5.5); this
+// simulation keeps that contract by treating the index as already
+// recovered.
+func (s *Store) Crash() {
+	if !s.closed.Swap(true) {
+		close(s.stop)
+		s.bg.Wait()
+	}
+	if s.cache != nil {
+		s.cache.Close()
+		s.cache = nil
+	}
+	// Pending epoch retirements (free-list pushes, ring releases) are
+	// volatile deferred work: a real crash loses them, and recovery
+	// rebuilds their effects from durable state. Letting one fire after
+	// recovery would double-apply it — e.g., double-free an HSIT slot
+	// that RebuildVolatile already reissued.
+	s.em.DiscardRetired()
+	s.nvmDev.Crash()
+	for _, d := range s.ssds {
+		d.Crash()
+	}
+}
+
+// Recover rebuilds all volatile state from the durable media (§5.5):
+//
+//  1. Scan the Persistent Key Index for reachable HSIT entries
+//     (partitioned across workers, as the paper recovers "concurrently
+//     for randomly partitioned key ranges").
+//  2. For each reachable entry, validate forward/backward coupling. PWB
+//     values are drained into Value Storage; VS values rebuild the
+//     per-chunk validity bitmaps; SVC pointers are nullified.
+//  3. Unreachable HSIT entries return to the free list; PWB rings reset;
+//     background threads restart.
+func (s *Store) Recover() (RecoveryReport, error) {
+	if !s.closed.Load() {
+		return RecoveryReport{}, errors.New("prism: Recover on a running store")
+	}
+	var rep RecoveryReport
+
+	// Phase 1: collect (key, idx) pairs from the index.
+	scanClk := sim.NewClock(0)
+	type pair struct {
+		key []byte
+		idx uint64
+	}
+	var pairs []pair
+	s.index.Scan(scanClk, nil, 0, func(key []byte, idx uint64) bool {
+		pairs = append(pairs, pair{key: cloneBytes(key), idx: idx})
+		return true
+	})
+
+	// Phase 2: validate couplings in parallel partitions.
+	s.vsm.BeginRecovery()
+	workers := len(s.threads)
+	if workers > len(pairs) && len(pairs) > 0 {
+		workers = len(pairs)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	reachable := make([]map[uint64]bool, workers)
+	lost := make([][]pair, workers)
+	type pwbLive struct {
+		idx uint64
+		p   hsit.Pointer
+		val []byte
+	}
+	pwbVals := make([][]pwbLive, workers)
+	clocks := make([]*sim.Clock, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clk := sim.NewClock(scanClk.Now())
+			clocks[w] = clk
+			reach := make(map[uint64]bool)
+			for i := w; i < len(pairs); i += workers {
+				pr := pairs[i]
+				p := s.table.Load(clk, pr.idx)
+				switch p.Media {
+				case hsit.PWB:
+					backptr, vlen, ok := s.pwbOf(p.Off).ReadHeader(clk, p.Off)
+					if !ok || backptr != pr.idx || vlen != p.Len {
+						lost[w] = append(lost[w], pr) // ill-coupled
+						continue
+					}
+					val := s.pwbOf(p.Off).ReadValue(clk, p.Off, p.Len)
+					pwbVals[w] = append(pwbVals[w], pwbLive{idx: pr.idx, p: p, val: val})
+					reach[pr.idx] = true
+				case hsit.VS:
+					s.vsm.MarkRecovered(p.Off, p.Len)
+					reach[pr.idx] = true
+				default:
+					lost[w] = append(lost[w], pr)
+				}
+			}
+			reachable[w] = reach
+		}(w)
+	}
+	wg.Wait()
+
+	allReach := make(map[uint64]bool)
+	for w := 0; w < workers; w++ {
+		for idx := range reachable[w] {
+			allReach[idx] = true
+		}
+		for _, pr := range lost[w] {
+			s.index.Delete(nil, pr.key)
+			rep.LostKeys++
+		}
+		if clocks[w].Now() > rep.VirtualNS {
+			rep.VirtualNS = clocks[w].Now()
+		}
+	}
+
+	// Rebuild the free-chunk lists before draining: every chunk that
+	// recovered no live record is writable again.
+	s.vsm.FinishRecovery()
+
+	// Phase 3: drain live PWB values into Value Storage so the rings can
+	// reset (their volatile cursors are unknown after the crash).
+	drainClk := sim.NewClock(rep.VirtualNS)
+	rng := sim.NewRNG(s.opt.Seed ^ 0x5ec0)
+	var drain []pwbLive
+	for w := 0; w < workers; w++ {
+		drain = append(drain, pwbVals[w]...)
+	}
+	i := 0
+	for i < len(drain) {
+		devIdx, st := s.vsm.PickIdle(rng)
+		w, err := st.NewWriter()
+		if err != nil {
+			w, devIdx, st = s.anyWriter(drainClk.Now())
+			if w == nil {
+				return rep, errors.New("prism: no Value Storage space during recovery")
+			}
+		}
+		var batch []pwbLive
+		for i < len(drain) && w.Room(len(drain[i].val)) {
+			w.Add(drain[i].idx, drain[i].val)
+			batch = append(batch, drain[i])
+			i++
+		}
+		done, entries := w.Commit(drainClk.Now())
+		drainClk.AdvanceTo(done)
+		for j, e := range entries {
+			newp := hsit.Pointer{Media: hsit.VS, Len: e.ValueLen, Off: valuestore.GlobalOff(devIdx, e.LocalOff)}
+			if !s.table.PublishIf(drainClk, e.HSITIdx, batch[j].p, newp) {
+				st.Invalidate(e.LocalOff, e.ValueLen)
+			}
+		}
+		rep.PWBValuesDrained += len(entries)
+	}
+	for _, b := range s.pwbs {
+		b.Reset()
+	}
+
+	// Phase 4: rebuild volatile tables and restart background work.
+	rep.LiveKeys = s.table.RebuildVolatile(func(idx uint64) bool { return allReach[idx] }, uint64(s.table.Capacity()))
+	rep.VSValuesRecovered = rep.LiveKeys - rep.PWBValuesDrained
+
+	if !s.opt.DisableSVC {
+		cfg := svc.Config{
+			CapacityBytes: s.opt.SVCBytes,
+			Unpublish: func(idx, handle uint64) bool {
+				return s.table.CasSVC(nil, idx, handle, 0)
+			},
+		}
+		if !s.opt.DisableScanSort {
+			cfg.OnScanEvict = s.onScanEvict
+		}
+		s.cache = svc.New(cfg)
+	}
+	s.stop = make(chan struct{})
+	s.bg.Add(1 + len(s.threads))
+	for i := range s.threads {
+		go s.reclaimLoop(i)
+	}
+	go s.gcLoop()
+	s.closed.Store(false)
+	rep.VirtualNS = drainClk.Now()
+	s.stats.recoveredValues.Add(int64(rep.LiveKeys))
+	return rep, nil
+}

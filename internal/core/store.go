@@ -1,0 +1,370 @@
+// Package core implements the Prism key-value store engine: the five
+// components of §4 (Persistent Key Index, PWB, Value Storage, SVC, HSIT)
+// wired together with the cross-media concurrency control of §5.4 and the
+// crash-consistency/recovery protocol of §5.5.
+//
+// Storage layout:
+//
+//	NVM:  [ HSIT entries | per-thread PWB rings | (key index, modeled) ]
+//	SSDs: [ Value Storage chunks ] x NumSSDs, one Value Storage per SSD
+//	DRAM: [ Scan-aware Value Cache | validity bitmaps | volatile state ]
+//
+// Every application thread obtains a Thread handle carrying its virtual
+// clock, epoch participant, and private PWB. Background work (PWB
+// reclamation, Value Storage GC, SVC management) runs on goroutines with
+// their own clocks, contending with the foreground for device bandwidth
+// in virtual time exactly as the paper's background threads contend for
+// real devices.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/hsit"
+	"repro/internal/keyindex"
+	"repro/internal/nvm"
+	"repro/internal/pwb"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/svc"
+	"repro/internal/tcq"
+	"repro/internal/valuestore"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNotFound = errors.New("prism: key not found")
+	ErrClosed   = errors.New("prism: store closed")
+)
+
+// Options configures a Store. The zero value is completed by defaults
+// sized for tests; benchmarks override explicitly.
+type Options struct {
+	// NumThreads is the number of application Thread handles (each gets
+	// a private PWB, §4.3). Default 4.
+	NumThreads int
+	// PWBBytesPerThread sizes each PWB ring. Default 1 MiB.
+	PWBBytesPerThread int
+	// HSITCapacity is the maximum number of live keys. Default 1 << 16.
+	HSITCapacity int
+	// NumSSDs is the number of simulated flash SSDs, one Value Storage
+	// each (§5.1). Default 2.
+	NumSSDs int
+	// SSDBytes is the capacity of each SSD. Default 64 MiB.
+	SSDBytes int64
+	// ChunkSize is the Value Storage chunk size. Default 512 KiB.
+	ChunkSize int
+	// SVCBytes bounds the DRAM value cache. Default 4 MiB.
+	SVCBytes int64
+	// QueueDepth is the IO coalescing limit (§5.3). Default 64.
+	QueueDepth int
+	// ReclaimWatermark is the PWB utilization that triggers background
+	// reclamation. Default 0.5 (§4.3).
+	ReclaimWatermark float64
+	// GCFreeFraction triggers Value Storage GC when the free-chunk
+	// fraction drops below it. Default 0.25.
+	GCFreeFraction float64
+
+	// NVM and SSD performance envelopes (zero = paper defaults).
+	NVM nvm.Config
+	SSD ssd.Config
+
+	// Ablation switches (§7.6 "impact of individual techniques").
+	DisableSVC       bool  // no DRAM value cache
+	DisableCombining bool  // use timeout-based async IO (TA) instead of TC
+	TimeoutNS        int64 // TA timeout; default 100 us
+	SyncVSWrites     bool  // bypass PWB: write values synchronously to VS
+	DisableScanSort  bool  // no eviction-time scan-range rewrite
+
+	Seed uint64
+}
+
+func (o *Options) applyDefaults() {
+	if o.NumThreads == 0 {
+		o.NumThreads = 4
+	}
+	if o.PWBBytesPerThread == 0 {
+		o.PWBBytesPerThread = 1 << 20
+	}
+	if o.HSITCapacity == 0 {
+		o.HSITCapacity = 1 << 16
+	}
+	if o.NumSSDs == 0 {
+		o.NumSSDs = 2
+	}
+	if o.SSDBytes == 0 {
+		o.SSDBytes = 64 << 20
+	}
+	if o.ChunkSize == 0 {
+		o.ChunkSize = 512 << 10
+	}
+	if o.SVCBytes == 0 {
+		o.SVCBytes = 4 << 20
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.ReclaimWatermark == 0 {
+		o.ReclaimWatermark = 0.5
+	}
+	if o.GCFreeFraction == 0 {
+		o.GCFreeFraction = 0.25
+	}
+	if o.TimeoutNS == 0 {
+		o.TimeoutNS = 100_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Store is a Prism key-value store instance.
+type Store struct {
+	opt Options
+
+	nvmDev  *nvm.Device
+	ssds    []*ssd.Device
+	index   *keyindex.Index
+	table   *hsit.Table
+	pwbs    []*pwb.Buffer
+	pwbBase int
+	vsm     *valuestore.Manager
+	queues  []*tcq.Queue
+	tas     []*tcq.TimeoutBatcher
+	cache   *svc.Cache
+	em      *epoch.Manager
+
+	threads []*Thread
+
+	reclaimChs []chan int64 // per-PWB reclamation triggers (value = trigger time)
+	gcCh       chan gcReq
+	stop       chan struct{}
+	bg         sync.WaitGroup
+	closed     atomic.Bool
+
+	gcClk *sim.Clock
+	// reclaimStall[i] is the virtual time at which PWB i's latest
+	// reclamation pass finished; its stalled owner waits until then
+	// (the paper's "thread utilizes the remaining space" then blocks if
+	// reclamation cannot keep up).
+	reclaimStall []atomic.Int64
+
+	svcMu       sync.Mutex // guards svcClk and the rewrite path
+	svcClk      *sim.Clock
+	lastRewrite int64 // guarded by svcMu; paces scan-range rewrites
+
+	stats statsCounters
+}
+
+type gcReq struct {
+	store int
+	now   int64
+}
+
+type statsCounters struct {
+	puts, gets, deletes, scans    atomic.Int64
+	svcHits, pwbHits, vsReads     atomic.Int64
+	userBytesWritten              atomic.Int64
+	reclaims, pwbLiveMigrated     atomic.Int64
+	scanRewrites, recoveredValues atomic.Int64
+	putStalls                     atomic.Int64
+}
+
+// Thread is one application thread's handle: it owns a virtual clock, an
+// epoch participant, and a private PWB. A Thread must not be used
+// concurrently; different Threads may run in parallel.
+type Thread struct {
+	s    *Store
+	id   int
+	Clk  *sim.Clock
+	part *epoch.Participant
+	buf  *pwb.Buffer
+	rng  *sim.RNG
+}
+
+// Open creates a Store over fresh simulated devices.
+func Open(opt Options) (*Store, error) {
+	opt.applyDefaults()
+	if opt.NumSSDs > 64 {
+		return nil, errors.New("prism: at most 64 SSDs (global offset encoding)")
+	}
+	if opt.NumThreads < 1 || opt.NumSSDs < 1 {
+		return nil, errors.New("prism: need at least one thread and one SSD")
+	}
+	// PWB rings require 16-byte alignment; chunk sizes must hold at
+	// least one max-size record.
+	opt.PWBBytesPerThread = opt.PWBBytesPerThread / 16 * 16
+	if opt.PWBBytesPerThread < 4096 {
+		return nil, errors.New("prism: PWBBytesPerThread too small (< 4 KiB)")
+	}
+	if int64(opt.ChunkSize) > opt.SSDBytes {
+		return nil, errors.New("prism: chunk size exceeds SSD capacity")
+	}
+	hsitBytes := opt.HSITCapacity * hsit.EntrySize
+	pwbBase := (hsitBytes + 63) / 64 * 64
+	nvmSize := pwbBase + opt.NumThreads*opt.PWBBytesPerThread + 4096
+	ncfg := opt.NVM
+	if ncfg.Size < nvmSize {
+		ncfg.Size = nvmSize
+	}
+	s := &Store{
+		opt:     opt,
+		nvmDev:  nvm.New(ncfg),
+		em:      epoch.NewManager(),
+		gcCh:    make(chan gcReq, opt.NumSSDs*2),
+		stop:    make(chan struct{}),
+		gcClk:   sim.NewClock(0),
+		svcClk:  sim.NewClock(0),
+		pwbBase: pwbBase,
+	}
+	s.reclaimStall = make([]atomic.Int64, opt.NumThreads)
+	for i := 0; i < opt.NumThreads; i++ {
+		s.reclaimChs = append(s.reclaimChs, make(chan int64, 2))
+	}
+	s.index = keyindex.New(s.nvmDev)
+	s.table = hsit.New(s.nvmDev, 0, opt.HSITCapacity, s.em)
+	for i := 0; i < opt.NumThreads; i++ {
+		base := pwbBase + i*opt.PWBBytesPerThread
+		s.pwbs = append(s.pwbs, pwb.NewBuffer(s.nvmDev, base, opt.PWBBytesPerThread))
+	}
+	for i := 0; i < opt.NumSSDs; i++ {
+		scfg := opt.SSD
+		scfg.Size = opt.SSDBytes
+		scfg.Name = fmt.Sprintf("ssd%d", i)
+		dev := ssd.New(scfg)
+		s.ssds = append(s.ssds, dev)
+		if opt.DisableCombining {
+			s.tas = append(s.tas, tcq.NewTimeoutBatcher(dev, opt.QueueDepth, opt.TimeoutNS))
+		} else {
+			s.queues = append(s.queues, tcq.New(dev, opt.QueueDepth))
+		}
+	}
+	s.vsm = valuestore.NewManager(s.ssds, opt.ChunkSize, s.em)
+	if !opt.DisableSVC {
+		cfg := svc.Config{
+			CapacityBytes: opt.SVCBytes,
+			Unpublish: func(idx, handle uint64) bool {
+				return s.table.CasSVC(nil, idx, handle, 0)
+			},
+		}
+		if !opt.DisableScanSort {
+			cfg.OnScanEvict = s.onScanEvict
+		}
+		s.cache = svc.New(cfg)
+	}
+	rng := sim.NewRNG(opt.Seed)
+	for i := 0; i < opt.NumThreads; i++ {
+		s.threads = append(s.threads, &Thread{
+			s:    s,
+			id:   i,
+			Clk:  sim.NewClock(0),
+			part: s.em.Register(),
+			buf:  s.pwbs[i],
+			rng:  rng.Split(),
+		})
+	}
+	s.bg.Add(1 + opt.NumThreads)
+	for i := 0; i < opt.NumThreads; i++ {
+		go s.reclaimLoop(i)
+	}
+	go s.gcLoop()
+	return s, nil
+}
+
+// Thread returns application thread handle i (0 <= i < NumThreads).
+func (s *Store) Thread(i int) *Thread { return s.threads[i] }
+
+// NumThreads returns the number of thread handles.
+func (s *Store) NumThreads() int { return len(s.threads) }
+
+// Epochs returns the store's epoch manager (tests and harness plumbing).
+func (s *Store) Epochs() *epoch.Manager { return s.em }
+
+// NVM returns the simulated NVM device.
+func (s *Store) NVM() *nvm.Device { return s.nvmDev }
+
+// SSDs returns the simulated flash devices.
+func (s *Store) SSDs() []*ssd.Device { return s.ssds }
+
+// Close stops background work and flushes NVM (clean shutdown).
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return ErrClosed
+	}
+	close(s.stop)
+	s.bg.Wait()
+	if s.cache != nil {
+		s.cache.Close()
+	}
+	s.em.Barrier()
+	s.nvmDev.PersistAll()
+	return nil
+}
+
+// pwbOf maps a PWB forward-pointer offset to its owning buffer.
+func (s *Store) pwbOf(devOff uint64) *pwb.Buffer {
+	i := (int(devOff) - s.pwbBase) / s.opt.PWBBytesPerThread
+	return s.pwbs[i]
+}
+
+// readVS reads the record for (idx, p) from Value Storage through the
+// configured batching scheme and returns the raw record bytes.
+func (s *Store) readVS(clk *sim.Clock, p hsit.Pointer) []byte {
+	devIdx, local := valuestore.SplitOff(p.Off)
+	req := s.vsm.Stores[devIdx].ReadAt(local, p.Len)
+	var done int64
+	if s.opt.DisableCombining {
+		done = s.tas[devIdx].Read(clk.Now(), req)
+	} else {
+		done = s.queues[devIdx].Read(clk.Now(), req)
+	}
+	clk.AdvanceTo(done)
+	s.stats.vsReads.Add(1)
+	return req.Data
+}
+
+// Stats is a point-in-time snapshot of store-level counters.
+type Stats struct {
+	Puts, Gets, Deletes, Scans int64
+	SVCHits, PWBHits, VSReads  int64
+	UserBytesWritten           int64
+	Reclaims, PWBLiveMigrated  int64
+	ScanRewrites               int64
+	PutStalls                  int64
+	IndexSpaceBytes            int64
+	HSITSpaceBytes             int64
+	VS                         valuestore.Stats
+	SVC                        svc.Stats
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Puts:             s.stats.puts.Load(),
+		Gets:             s.stats.gets.Load(),
+		Deletes:          s.stats.deletes.Load(),
+		Scans:            s.stats.scans.Load(),
+		SVCHits:          s.stats.svcHits.Load(),
+		PWBHits:          s.stats.pwbHits.Load(),
+		VSReads:          s.stats.vsReads.Load(),
+		UserBytesWritten: s.stats.userBytesWritten.Load(),
+		Reclaims:         s.stats.reclaims.Load(),
+		PWBLiveMigrated:  s.stats.pwbLiveMigrated.Load(),
+		ScanRewrites:     s.stats.scanRewrites.Load(),
+		PutStalls:        s.stats.putStalls.Load(),
+		IndexSpaceBytes:  s.index.SpaceBytes(),
+		HSITSpaceBytes:   s.table.SpaceBytes(),
+		VS:               s.vsm.Stats(),
+	}
+	if s.cache != nil {
+		st.SVC = s.cache.Stats()
+	}
+	return st
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return s.index.Len() }

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// PrismStore adapts core.Store to the engine interface.
+type PrismStore struct {
+	S *core.Store
+}
+
+// NewPrism opens a Prism store as an engine.Store.
+func NewPrism(opt core.Options) (*PrismStore, error) {
+	s, err := core.Open(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &PrismStore{S: s}, nil
+}
+
+type prismThread struct {
+	t *core.Thread
+}
+
+// Thread returns handle i.
+func (p *PrismStore) Thread(i int) KV { return prismThread{p.S.Thread(i)} }
+
+// NumThreads returns the handle count.
+func (p *PrismStore) NumThreads() int { return p.S.NumThreads() }
+
+// Close stops the store.
+func (p *PrismStore) Close() error { return p.S.Close() }
+
+// WriteAmp reports (SSD bytes written, user bytes written).
+func (p *PrismStore) WriteAmp() (device, user int64) {
+	for _, d := range p.S.SSDs() {
+		device += d.Stats().BytesWritten
+	}
+	return device, p.S.Stats().UserBytesWritten
+}
+
+func (t prismThread) Put(key, value []byte) error { return t.t.Put(key, value) }
+
+func (t prismThread) Get(key []byte) ([]byte, error) {
+	v, err := t.t.Get(key)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+func (t prismThread) Delete(key []byte) error {
+	err := t.t.Delete(key)
+	if errors.Is(err, core.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (t prismThread) Scan(start []byte, count int, fn func(key, value []byte) bool) error {
+	return t.t.Scan(start, count, func(kv core.KV) bool { return fn(kv.Key, kv.Value) })
+}
+
+func (t prismThread) Clock() *sim.Clock { return t.t.Clk }

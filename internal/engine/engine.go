@@ -1,0 +1,47 @@
+// Package engine defines the key-value engine interface shared by Prism
+// and the baseline stores (KVell, MatrixKV, RocksDB-NVM, SLM-DB), so the
+// YCSB driver and the benchmark harness can run any of them. Each engine
+// hands out per-thread handles carrying a virtual clock; the harness
+// computes throughput from virtual time and latency from per-op deltas.
+package engine
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// ErrNotFound is returned by Get/Delete for missing keys. Engines must
+// return an error that errors.Is-matches this.
+var ErrNotFound = errors.New("engine: key not found")
+
+// Pair is a key-value pair exchanged by engines.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// KV is one application thread's handle onto a store.
+type KV interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	// Scan visits up to count pairs with key >= start in order.
+	Scan(start []byte, count int, fn func(key, value []byte) bool) error
+	// Clock returns the thread's virtual clock.
+	Clock() *sim.Clock
+}
+
+// Store is a key-value store instance with per-thread handles.
+type Store interface {
+	// Thread returns handle i; handles must not be shared across
+	// goroutines, distinct handles may run concurrently.
+	Thread(i int) KV
+	// NumThreads returns how many handles exist.
+	NumThreads() int
+	// Close stops background work.
+	Close() error
+	// WriteAmp returns (deviceBytesWritten, userBytesWritten) for
+	// SSD-level WAF accounting (Figure 12).
+	WriteAmp() (device, user int64)
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func openPrism(t *testing.T) *PrismStore {
+	t.Helper()
+	s, err := NewPrism(core.Options{
+		NumThreads:        2,
+		PWBBytesPerThread: 128 << 10,
+		HSITCapacity:      1 << 13,
+		NumSSDs:           1,
+		SSDBytes:          8 << 20,
+		SVCBytes:          128 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPrismAdapterRoundTrip(t *testing.T) {
+	s := openPrism(t)
+	kv := s.Thread(0)
+	if err := kv.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kv.Get([]byte("k"))
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if kv.Clock().Now() == 0 {
+		t.Fatal("adapter exposes no virtual time")
+	}
+	if s.NumThreads() != 2 {
+		t.Fatalf("NumThreads = %d", s.NumThreads())
+	}
+}
+
+func TestPrismAdapterErrorMapping(t *testing.T) {
+	s := openPrism(t)
+	kv := s.Thread(0)
+	if _, err := kv.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v, want engine.ErrNotFound", err)
+	}
+	if err := kv.Delete([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete missing = %v, want engine.ErrNotFound", err)
+	}
+}
+
+func TestPrismAdapterScan(t *testing.T) {
+	s := openPrism(t)
+	kv := s.Thread(0)
+	for i := 0; i < 30; i++ {
+		kv.Put([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)})
+	}
+	var keys []string
+	err := kv.Scan([]byte("k10"), 5, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 || keys[0] != "k10" || keys[4] != "k14" {
+		t.Fatalf("scan = %v", keys)
+	}
+}
+
+func TestPrismAdapterWriteAmp(t *testing.T) {
+	s := openPrism(t)
+	kv := s.Thread(0)
+	for i := 0; i < 1000; i++ {
+		kv.Put([]byte(fmt.Sprintf("key%05d", i)), make([]byte, 256))
+	}
+	dev, user := s.WriteAmp()
+	if user != 1000*256 {
+		t.Fatalf("user bytes = %d", user)
+	}
+	if dev <= 0 {
+		t.Fatal("no device writes counted despite PWB overflow traffic")
+	}
+}

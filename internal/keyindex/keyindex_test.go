@@ -1,0 +1,353 @@
+package keyindex
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nvm"
+	"repro/internal/sim"
+)
+
+func TestInsertLookup(t *testing.T) {
+	ix := New(nil)
+	if _, ok := ix.Lookup(nil, []byte("missing")); ok {
+		t.Fatal("lookup on empty index succeeded")
+	}
+	v, inserted := ix.Insert(nil, []byte("alpha"), 7)
+	if !inserted || v != 7 {
+		t.Fatalf("insert = (%d, %v)", v, inserted)
+	}
+	v, ok := ix.Lookup(nil, []byte("alpha"))
+	if !ok || v != 7 {
+		t.Fatalf("lookup = (%d, %v)", v, ok)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestInsertIfAbsentSemantics(t *testing.T) {
+	ix := New(nil)
+	ix.Insert(nil, []byte("k"), 1)
+	v, inserted := ix.Insert(nil, []byte("k"), 2)
+	if inserted {
+		t.Fatal("second insert of same key claimed success")
+	}
+	if v != 1 {
+		t.Fatalf("existing value = %d, want 1", v)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert", ix.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := New(nil)
+	ix.Insert(nil, []byte("a"), 1)
+	ix.Insert(nil, []byte("b"), 2)
+	v, ok := ix.Delete(nil, []byte("a"))
+	if !ok || v != 1 {
+		t.Fatalf("delete = (%d, %v)", v, ok)
+	}
+	if _, ok := ix.Lookup(nil, []byte("a")); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if _, ok := ix.Delete(nil, []byte("a")); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := ix.Delete(nil, []byte("zzz")); ok {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	ix := New(nil)
+	ix.Insert(nil, []byte("k"), 1)
+	ix.Delete(nil, []byte("k"))
+	v, inserted := ix.Insert(nil, []byte("k"), 9)
+	if !inserted || v != 9 {
+		t.Fatalf("reinsert = (%d, %v)", v, inserted)
+	}
+	got, ok := ix.Lookup(nil, []byte("k"))
+	if !ok || got != 9 {
+		t.Fatalf("lookup after reinsert = (%d, %v)", got, ok)
+	}
+}
+
+func TestScanOrderAndBounds(t *testing.T) {
+	ix := New(nil)
+	for i := 99; i >= 0; i-- {
+		ix.Insert(nil, []byte(fmt.Sprintf("key%03d", i)), uint64(i))
+	}
+	var got []uint64
+	ix.Scan(nil, []byte("key010"), 5, func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []uint64{10, 11, 12, 13, 14}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEarlyStopAndUnbounded(t *testing.T) {
+	ix := New(nil)
+	for i := 0; i < 20; i++ {
+		ix.Insert(nil, []byte(fmt.Sprintf("%02d", i)), uint64(i))
+	}
+	n := 0
+	ix.Scan(nil, nil, 0, func(k []byte, v uint64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	n = 0
+	ix.Scan(nil, []byte("15"), 0, func(k []byte, v uint64) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("unbounded tail scan visited %d, want 5", n)
+	}
+}
+
+func TestScanSkipsDeleted(t *testing.T) {
+	ix := New(nil)
+	for i := 0; i < 10; i++ {
+		ix.Insert(nil, []byte(fmt.Sprintf("%02d", i)), uint64(i))
+	}
+	ix.Delete(nil, []byte("03"))
+	ix.Delete(nil, []byte("04"))
+	var keys []string
+	ix.Scan(nil, []byte("02"), 4, func(k []byte, v uint64) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	want := []string{"02", "05", "06", "07"}
+	if len(keys) != 4 {
+		t.Fatalf("scan = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestCostCharging(t *testing.T) {
+	dev := nvm.New(nvm.Config{Size: 4096})
+	ix := New(dev)
+	clk := sim.NewClock(0)
+	ix.Insert(clk, []byte("a"), 1)
+	if clk.Now() == 0 {
+		t.Fatal("insert charged nothing")
+	}
+	before := clk.Now()
+	ix.Lookup(clk, []byte("a"))
+	if clk.Now() <= before {
+		t.Fatal("lookup charged nothing")
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	ix := New(nil)
+	if ix.SpaceBytes() != 0 {
+		t.Fatal("empty index has space")
+	}
+	for i := 0; i < 100; i++ {
+		ix.Insert(nil, []byte(fmt.Sprintf("key-%04d", i)), uint64(i))
+	}
+	full := ix.SpaceBytes()
+	if full <= 0 {
+		t.Fatal("no space accounted")
+	}
+	for i := 0; i < 100; i++ {
+		ix.Delete(nil, []byte(fmt.Sprintf("key-%04d", i)))
+	}
+	if ix.SpaceBytes() != 0 {
+		t.Fatalf("space leak after deleting all: %d", ix.SpaceBytes())
+	}
+}
+
+func TestConcurrentInsertDisjoint(t *testing.T) {
+	ix := New(nil)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := []byte(fmt.Sprintf("w%d-%05d", w, i))
+				if _, inserted := ix.Insert(nil, key, uint64(w*per+i)); !inserted {
+					t.Errorf("disjoint insert failed for %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", ix.Len(), workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i += 37 {
+			v, ok := ix.Lookup(nil, []byte(fmt.Sprintf("w%d-%05d", w, i)))
+			if !ok || v != uint64(w*per+i) {
+				t.Fatalf("lookup w%d-%05d = (%d,%v)", w, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestConcurrentSameKeyOneWinner(t *testing.T) {
+	ix := New(nil)
+	const workers = 8
+	wins := make([]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, inserted := ix.Insert(nil, []byte("contended"), uint64(w))
+			wins[w] = inserted
+		}(w)
+	}
+	wg.Wait()
+	n := 0
+	for _, won := range wins {
+		if won {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d winners for one key", n)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	ix := New(nil)
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := sim.NewRNG(uint64(w) + 1)
+			for i := 0; i < 2000; i++ {
+				key := []byte(fmt.Sprintf("%04d", rng.Intn(300)))
+				switch rng.Intn(4) {
+				case 0:
+					ix.Insert(nil, key, rng.Uint64())
+				case 1:
+					ix.Delete(nil, key)
+				case 2:
+					ix.Lookup(nil, key)
+				case 3:
+					ix.Scan(nil, key, 10, func(k []byte, v uint64) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Post-condition: scan visits strictly increasing keys and Len matches.
+	var prev []byte
+	n := 0
+	ix.Scan(nil, nil, 0, func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if n != ix.Len() {
+		t.Fatalf("scan count %d != Len %d", n, ix.Len())
+	}
+}
+
+// Property: the index agrees with a reference map under a random
+// single-threaded operation sequence.
+func TestMatchesReferenceModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		ix := New(nil)
+		ref := map[string]uint64{}
+		for i := 0; i < 800; i++ {
+			key := fmt.Sprintf("%03d", rng.Intn(120))
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64()
+				if _, exists := ref[key]; !exists {
+					ref[key] = v
+				}
+				ix.Insert(nil, []byte(key), v)
+			case 1:
+				delete(ref, key)
+				ix.Delete(nil, []byte(key))
+			case 2:
+				got, ok := ix.Lookup(nil, []byte(key))
+				want, exists := ref[key]
+				if ok != exists || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		if ix.Len() != len(ref) {
+			return false
+		}
+		// Full scan must equal sorted reference keys.
+		var want []string
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		ix.Scan(nil, nil, 0, func(k []byte, v uint64) bool {
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	ix := New(nil)
+	for i := 0; i < 100000; i++ {
+		ix.Insert(nil, []byte(fmt.Sprintf("user%08d", i)), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(nil, []byte(fmt.Sprintf("user%08d", i%100000)))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ix := New(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(nil, []byte(fmt.Sprintf("user%010d", i)), uint64(i))
+	}
+}

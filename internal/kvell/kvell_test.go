@@ -1,0 +1,231 @@
+package kvell
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func open(t *testing.T, mutate func(*Config)) *Store {
+	t.Helper()
+	cfg := Config{
+		Workers:    4,
+		NumSSDs:    2,
+		SSDBytes:   8 << 20,
+		ItemSize:   128,
+		CacheBytes: 256 << 10,
+		Clients:    2,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := Open(cfg)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("user%08d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("val-%04d", i)) }
+
+func TestPutGetDelete(t *testing.T) {
+	s := open(t, nil)
+	c := s.Thread(0)
+	if err := c.Put(key(1), value(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(key(1))
+	if err != nil || !bytes.Equal(got, value(1)) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := c.Get(key(2)); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := c.Delete(key(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(key(1)); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	s := open(t, nil)
+	c := s.Thread(0)
+	for v := 0; v < 5; v++ {
+		if err := c.Put(key(3), value(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := c.Get(key(3))
+	if !bytes.Equal(got, value(4)) {
+		t.Fatalf("latest = %q", got)
+	}
+}
+
+func TestManyKeysAcrossPartitions(t *testing.T) {
+	s := open(t, nil)
+	c := s.Thread(0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := c.Put(key(i), value(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i += 7 {
+		got, err := c.Get(key(i))
+		if err != nil || !bytes.Equal(got, value(i)) {
+			t.Fatalf("get %d: %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestScanMergesPartitions(t *testing.T) {
+	s := open(t, nil)
+	c := s.Thread(0)
+	for i := 0; i < 300; i++ {
+		c.Put(key(i), value(i))
+	}
+	var keys []string
+	err := c.Scan(key(100), 20, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 20 {
+		t.Fatalf("scan visited %d", len(keys))
+	}
+	for i, k := range keys {
+		if k != string(key(100+i)) {
+			t.Fatalf("scan[%d] = %s, want %s", i, k, key(100+i))
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := open(t, func(c *Config) { c.Clients = 4 })
+	var wg sync.WaitGroup
+	for ci := 0; ci < 4; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := s.Thread(ci)
+			for i := 0; i < 300; i++ {
+				k := []byte(fmt.Sprintf("c%d-%05d", ci, i))
+				if err := c.Put(k, value(i)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if got, err := c.Get(k); err != nil || !bytes.Equal(got, value(i)) {
+					t.Errorf("get: %q, %v", got, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+}
+
+func TestClockAdvancesAndQueueingCosts(t *testing.T) {
+	s := open(t, nil)
+	c := s.Thread(0)
+	c.Put(key(1), value(1))
+	if c.Clock().Now() == 0 {
+		t.Fatal("no virtual time charged")
+	}
+	// A cache-miss read must cost at least the SSD read latency.
+	s2 := open(t, func(cfg *Config) { cfg.CacheBytes = 4096 * 4 })
+	c2 := s2.Thread(0)
+	for i := 0; i < 200; i++ {
+		c2.Put(key(i), value(i))
+	}
+	before := c2.Clock().Now()
+	c2.Get(key(0)) // long evicted
+	if c2.Clock().Now()-before < 50_000 {
+		t.Fatalf("cache-miss read cost only %dns", c2.Clock().Now()-before)
+	}
+}
+
+func TestWriteAmpPageGranularity(t *testing.T) {
+	s := open(t, nil)
+	c := s.Thread(0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := c.Put(key(i), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev, user := s.WriteAmp()
+	if user != n*64 {
+		t.Fatalf("user bytes = %d", user)
+	}
+	// Every put writes a whole 4KB page: WAF must be roughly
+	// PageSize/64, far above 1.
+	if waf := float64(dev) / float64(user); waf < 10 {
+		t.Fatalf("WAF = %.1f, expected page-granularity amplification", waf)
+	}
+}
+
+func TestRecoveryRebuildsIndexes(t *testing.T) {
+	s := open(t, nil)
+	c := s.Thread(0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		c.Put(key(i), value(i))
+	}
+	c.Delete(key(3))
+	ns := s.Recover()
+	if ns <= 0 {
+		t.Fatal("recovery took no virtual time")
+	}
+	for i := 0; i < n; i++ {
+		got, err := c.Get(key(i))
+		if i == 3 {
+			if !errors.Is(err, engine.ErrNotFound) {
+				t.Fatalf("deleted key resurrected: %v", err)
+			}
+			continue
+		}
+		if err != nil || !bytes.Equal(got, value(i)) {
+			t.Fatalf("key %d after recovery: %q, %v", i, got, err)
+		}
+	}
+	// Rewrites after recovery must not corrupt (freelist correctness).
+	for i := 0; i < 50; i++ {
+		if err := c.Put(key(n+i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOversizedItemRejected(t *testing.T) {
+	s := open(t, nil)
+	if err := s.Thread(0).Put(key(1), make([]byte, 4096)); err == nil {
+		t.Fatal("oversized item accepted")
+	}
+}
+
+func TestSkewCreatesImbalance(t *testing.T) {
+	// All requests to one hot key load a single partition; its worker
+	// clock should be far ahead of the others'.
+	s := open(t, func(c *Config) { c.Workers = 4 })
+	c := s.Thread(0)
+	for i := 0; i < 500; i++ {
+		c.Put([]byte("hotkey"), value(i))
+	}
+	hot := s.partition([]byte("hotkey"))
+	busy, idle := hot.busy.Load(), int64(0)
+	for _, w := range s.workers {
+		if w != hot && w.busy.Load() > idle {
+			idle = w.busy.Load()
+		}
+	}
+	if busy <= idle {
+		t.Fatalf("no imbalance: hot=%d others<=%d", busy, idle)
+	}
+}

@@ -1,0 +1,147 @@
+package lsm
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"repro/internal/keyindex"
+)
+
+// memtable is a concurrent sorted write buffer: an ordered index over an
+// append-only entry arena. Updates supersede by re-pointing the index at
+// the newest arena slot, so sorted() naturally yields only the latest
+// version of each key.
+type memtable struct {
+	index *keyindex.Index
+
+	mu    sync.Mutex
+	ents  []entry
+	bytes int64
+}
+
+func newMemtable() *memtable {
+	return &memtable{index: keyindex.New(nil)}
+}
+
+// put stores key -> value (or a tombstone).
+func (m *memtable) put(key, val []byte, tomb bool) {
+	e := entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...), tomb: tomb}
+	m.mu.Lock()
+	id := uint64(len(m.ents))
+	m.ents = append(m.ents, e)
+	m.bytes += int64(entrySize(e)) + 32
+	m.mu.Unlock()
+	m.index.Upsert(nil, key, id)
+}
+
+// get returns the newest entry for key.
+func (m *memtable) get(key []byte) (entry, bool) {
+	id, ok := m.index.Lookup(nil, key)
+	if !ok {
+		return entry{}, false
+	}
+	m.mu.Lock()
+	e := m.ents[id]
+	m.mu.Unlock()
+	return e, true
+}
+
+// size returns the approximate resident bytes.
+func (m *memtable) size() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// sorted returns the latest entry per key in key order (flush input).
+func (m *memtable) sorted() []entry {
+	var out []entry
+	m.mu.Lock()
+	ents := m.ents
+	m.mu.Unlock()
+	m.index.Scan(nil, nil, 0, func(key []byte, id uint64) bool {
+		if id < uint64(len(ents)) {
+			out = append(out, ents[id])
+		}
+		return true
+	})
+	return out
+}
+
+// scanFrom yields entries with key >= start in order. Entries inserted
+// after the arena snapshot are skipped — scans see a consistent point in
+// time even while the memtable keeps absorbing writes.
+func (m *memtable) scanFrom(start []byte, fn func(e entry) bool) {
+	m.mu.Lock()
+	ents := m.ents
+	m.mu.Unlock()
+	m.index.Scan(nil, start, 0, func(key []byte, id uint64) bool {
+		if id >= uint64(len(ents)) {
+			return true
+		}
+		return fn(ents[id])
+	})
+}
+
+// l0run is one sorted run inside the MatrixKV-style NVM matrix container:
+// a flushed memtable kept on NVM, from which column compaction extracts
+// key subranges without rewriting whole tables.
+type l0run struct {
+	ents  []entry // sorted by key
+	bytes int64
+}
+
+func newL0Run(ents []entry) *l0run {
+	var b int64
+	for _, e := range ents {
+		b += int64(entrySize(e))
+	}
+	return &l0run{ents: ents, bytes: b}
+}
+
+// get binary-searches the run.
+func (r *l0run) get(key []byte) (entry, bool) {
+	i := sort.Search(len(r.ents), func(i int) bool {
+		return bytes.Compare(r.ents[i].key, key) >= 0
+	})
+	if i < len(r.ents) && bytes.Equal(r.ents[i].key, key) {
+		return r.ents[i], true
+	}
+	return entry{}, false
+}
+
+// extract removes and returns entries with lo <= key < hi (hi nil =
+// unbounded), the column-compaction primitive.
+func (r *l0run) extract(lo, hi []byte) []entry {
+	start := sort.Search(len(r.ents), func(i int) bool {
+		return bytes.Compare(r.ents[i].key, lo) >= 0
+	})
+	end := len(r.ents)
+	if hi != nil {
+		end = sort.Search(len(r.ents), func(i int) bool {
+			return bytes.Compare(r.ents[i].key, hi) >= 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	col := append([]entry(nil), r.ents[start:end]...)
+	r.ents = append(r.ents[:start], r.ents[end:]...)
+	for _, e := range col {
+		r.bytes -= int64(entrySize(e))
+	}
+	return col
+}
+
+// scanFrom yields entries with key >= start.
+func (r *l0run) scanFrom(start []byte, fn func(e entry) bool) {
+	i := sort.Search(len(r.ents), func(i int) bool {
+		return bytes.Compare(r.ents[i].key, start) >= 0
+	})
+	for ; i < len(r.ents); i++ {
+		if !fn(r.ents[i]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package pwb implements the Persistent Write Buffer of §4.3: a
+// per-thread, append-only ring of value records on NVM that makes every
+// write durable off the SSD's critical path.
+//
+// Record layout on NVM (16-byte aligned, sizes multiples of 16):
+//
+//	[ backptr:8 ][ len:4 ][ magic:4 ][ value... pad ]
+//
+// backptr is the HSIT entry index — the backward pointer of §4.5. A
+// record is live iff it is well-coupled: HSIT[backptr]'s forward pointer
+// refers back to this record. Because writes are append-only, old
+// versions are never overwritten in place; they simply become ill-coupled
+// once the HSIT entry moves on, which is what makes PWB crash consistency
+// "easy and efficient" (§4.3).
+//
+// The ring is single-writer (its owning thread appends) and multi-reader
+// (Get paths and the background reclaimer read records). Space is
+// released strictly in order via ReleaseTo, which the engine calls only
+// after epoch-based grace so no reader can observe recycled bytes.
+package pwb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/nvm"
+)
+
+const (
+	headerSize  = 16
+	recordAlign = 16
+	// magic marks a live record header; padMagic marks end-of-ring filler.
+	magic    = 0x50574252 // "PWBR"
+	padMagic = 0x50574250 // "PWBP"
+)
+
+// ErrFull is returned by Append when the ring has insufficient space.
+// The engine responds by kicking reclamation and retrying (§4.3: the
+// application thread uses the remaining space while reclaiming).
+var ErrFull = errors.New("pwb: buffer full")
+
+// Buffer is one thread's persistent write buffer over the NVM region
+// [base, base+size).
+type Buffer struct {
+	dev  *nvm.Device
+	base int
+	size uint64
+
+	head atomic.Uint64 // logical append cursor (monotonic)
+	tail atomic.Uint64 // logical release cursor (monotonic)
+
+	bytesAppended atomic.Int64 // user payload bytes (WAF accounting)
+}
+
+// NewBuffer creates a buffer over [base, base+size) of dev. base and size
+// must be 16-byte aligned, size >= 64.
+func NewBuffer(dev *nvm.Device, base, size int) *Buffer {
+	if base%recordAlign != 0 || size%recordAlign != 0 {
+		panic("pwb: unaligned region")
+	}
+	if size < 64 {
+		panic("pwb: region too small")
+	}
+	if base+size > dev.Size() {
+		panic("pwb: region exceeds device")
+	}
+	return &Buffer{dev: dev, base: base, size: uint64(size)}
+}
+
+// recSize returns the aligned on-NVM footprint of a value record.
+func recSize(valueLen int) uint64 {
+	return uint64(headerSize+valueLen+recordAlign-1) / recordAlign * recordAlign
+}
+
+// Size returns the ring capacity in bytes.
+func (b *Buffer) Size() int { return int(b.size) }
+
+// Used returns the number of bytes between tail and head.
+func (b *Buffer) Used() int { return int(b.head.Load() - b.tail.Load()) }
+
+// Utilization returns Used/Size in [0,1].
+func (b *Buffer) Utilization() float64 { return float64(b.Used()) / float64(b.size) }
+
+// Head returns the logical append cursor (reclaimer scan upper bound).
+func (b *Buffer) Head() uint64 { return b.head.Load() }
+
+// Tail returns the logical release cursor (reclaimer scan lower bound).
+func (b *Buffer) Tail() uint64 { return b.tail.Load() }
+
+// pos maps a logical cursor to a physical byte offset on the device.
+func (b *Buffer) pos(logical uint64) int { return b.base + int(logical%b.size) }
+
+// GlobalOff maps a logical cursor to the stable device offset stored in
+// HSIT forward pointers.
+func (b *Buffer) GlobalOff(logical uint64) uint64 { return uint64(b.pos(logical)) }
+
+// Append durably writes a value record for hsitIdx and returns the
+// record's device offset (what the HSIT forward pointer should hold) and
+// its logical cursor. The record is flushed and fenced before return, so
+// the caller may immediately publish it (§5.4: persist value before
+// pointer). Only the owning thread may call Append.
+func (b *Buffer) Append(clk nvm.Clock, hsitIdx uint64, value []byte) (devOff uint64, logical uint64, err error) {
+	need := recSize(len(value))
+	if need > b.size {
+		return 0, 0, fmt.Errorf("pwb: value of %d bytes exceeds buffer capacity %d", len(value), b.size)
+	}
+	head := b.head.Load()
+	// A record never straddles the ring end; pad the remainder if needed.
+	if rem := b.size - head%b.size; rem < need {
+		if b.size-(head-b.tail.Load()) < rem+need {
+			return 0, 0, ErrFull
+		}
+		b.writePad(clk, head, rem)
+		head += rem
+	} else if b.size-(head-b.tail.Load()) < need {
+		return 0, 0, ErrFull
+	}
+
+	off := b.pos(head)
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], hsitIdx)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(value)))
+	binary.LittleEndian.PutUint32(hdr[12:], magic)
+	b.dev.Store(clk, off, hdr[:])
+	b.dev.Store(clk, off+headerSize, value)
+	b.dev.Persist(clk, off, headerSize+len(value))
+
+	b.head.Store(head + need)
+	b.bytesAppended.Add(int64(len(value)))
+	return uint64(off), head, nil
+}
+
+func (b *Buffer) writePad(clk nvm.Clock, head, n uint64) {
+	off := b.pos(head)
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], ^uint64(0))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(n-headerSize))
+	binary.LittleEndian.PutUint32(hdr[12:], padMagic)
+	b.dev.Store(clk, off, hdr[:])
+	b.dev.Persist(clk, off, headerSize)
+	b.head.Store(head + n)
+}
+
+// ReadValue reads the value payload of the record at devOff (from an HSIT
+// forward pointer) into a new slice. valueLen comes from the pointer. The
+// caller must hold an epoch guard so the bytes cannot be recycled
+// mid-read; it should re-validate the HSIT pointer afterwards.
+func (b *Buffer) ReadValue(clk nvm.Clock, devOff uint64, valueLen int) []byte {
+	buf := make([]byte, valueLen)
+	b.dev.Load(clk, int(devOff)+headerSize, buf)
+	return buf
+}
+
+// ReadHeader parses the record header at devOff, returning its backward
+// pointer and value length. ok is false when the bytes do not form a
+// value record (coupling validation during recovery, §5.5).
+func (b *Buffer) ReadHeader(clk nvm.Clock, devOff uint64) (hsitIdx uint64, valueLen int, ok bool) {
+	var hdr [headerSize]byte
+	b.dev.Load(clk, int(devOff), hdr[:])
+	if binary.LittleEndian.Uint32(hdr[12:]) != magic {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(hdr[0:]), int(binary.LittleEndian.Uint32(hdr[8:])), true
+}
+
+// Record is one entry yielded by Scan.
+type Record struct {
+	HSITIdx uint64
+	DevOff  uint64 // device offset of the record (HSIT pointer value)
+	Logical uint64 // logical cursor of the record
+	Value   []byte
+}
+
+// Scan parses records in logical range [from, to), calling fn for each
+// value record (padding is skipped). It is used by the background
+// reclaimer (§5.2) to collect candidate values; the caller decides
+// liveness via HSIT well-coupledness.
+func (b *Buffer) Scan(clk nvm.Clock, from, to uint64, fn func(r Record) bool) {
+	cur := from
+	var hdr [headerSize]byte
+	for cur < to {
+		off := b.pos(cur)
+		b.dev.Load(clk, off, hdr[:])
+		backptr := binary.LittleEndian.Uint64(hdr[0:])
+		vlen := binary.LittleEndian.Uint32(hdr[8:])
+		mg := binary.LittleEndian.Uint32(hdr[12:])
+		switch mg {
+		case padMagic:
+			cur += uint64(vlen) + headerSize
+			continue
+		case magic:
+			val := make([]byte, vlen)
+			b.dev.Load(clk, off+headerSize, val)
+			if !fn(Record{HSITIdx: backptr, DevOff: uint64(off), Logical: cur, Value: val}) {
+				return
+			}
+			cur += recSize(int(vlen))
+		default:
+			panic(fmt.Sprintf("pwb: corrupt record at logical %d (magic %#x)", cur, mg))
+		}
+	}
+}
+
+// ReleaseTo advances the tail to newTail, recycling everything before it.
+// The engine calls this only after two epochs have passed since the
+// records were migrated, so no concurrent reader still references them.
+func (b *Buffer) ReleaseTo(newTail uint64) {
+	for {
+		t := b.tail.Load()
+		if newTail <= t {
+			return
+		}
+		if b.tail.CompareAndSwap(t, newTail) {
+			return
+		}
+	}
+}
+
+// BytesAppended returns cumulative user payload bytes (write-traffic
+// accounting for the WAF experiments).
+func (b *Buffer) BytesAppended() int64 { return b.bytesAppended.Load() }
+
+// Reset empties the ring. Recovery drains every live PWB value into
+// Value Storage and then resets the cursors, because the volatile
+// head/tail are unknown after a crash (§5.5). Quiescent callers only.
+func (b *Buffer) Reset() {
+	b.head.Store(0)
+	b.tail.Store(0)
+}

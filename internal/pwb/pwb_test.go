@@ -1,0 +1,222 @@
+package pwb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/nvm"
+	"repro/internal/sim"
+)
+
+func newBuf(size int) (*Buffer, *nvm.Device) {
+	dev := nvm.New(nvm.Config{Size: size + 4096})
+	return NewBuffer(dev, 0, size), dev
+}
+
+func TestAppendAndReadValue(t *testing.T) {
+	b, _ := newBuf(1024)
+	val := []byte("the value payload")
+	off, _, err := b.Append(nil, 42, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.ReadValue(nil, off, len(val))
+	if !bytes.Equal(got, val) {
+		t.Fatalf("ReadValue = %q, want %q", got, val)
+	}
+	if b.BytesAppended() != int64(len(val)) {
+		t.Fatalf("BytesAppended = %d", b.BytesAppended())
+	}
+}
+
+func TestAppendIsDurableBeforeReturn(t *testing.T) {
+	b, dev := newBuf(1024)
+	val := []byte("must survive crash")
+	off, _, err := b.Append(nil, 7, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash()
+	got := make([]byte, len(val))
+	dev.Load(nil, int(off)+headerSize, got)
+	if !bytes.Equal(got, val) {
+		t.Fatalf("value lost on crash: %q", got)
+	}
+}
+
+func TestAppendOnlyOldVersionsSurvive(t *testing.T) {
+	b, _ := newBuf(4096)
+	off1, _, _ := b.Append(nil, 1, []byte("version-1"))
+	off2, _, _ := b.Append(nil, 1, []byte("version-2"))
+	if off1 == off2 {
+		t.Fatal("append-only buffer reused an offset")
+	}
+	if got := b.ReadValue(nil, off1, 9); string(got) != "version-1" {
+		t.Fatalf("old version overwritten: %q", got)
+	}
+	if got := b.ReadValue(nil, off2, 9); string(got) != "version-2" {
+		t.Fatalf("new version wrong: %q", got)
+	}
+}
+
+func TestFullAndRelease(t *testing.T) {
+	b, _ := newBuf(256)
+	var lastLogical uint64
+	n := 0
+	for {
+		_, logical, err := b.Append(nil, uint64(n), []byte("0123456789012345")) // 32B records
+		if err == ErrFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLogical = logical
+		n++
+	}
+	if n != 256/32 {
+		t.Fatalf("fit %d records, want 8", n)
+	}
+	if b.Utilization() != 1.0 {
+		t.Fatalf("utilization = %v", b.Utilization())
+	}
+	// Release the first half and append again.
+	b.ReleaseTo(128)
+	if b.Used() != 128 {
+		t.Fatalf("Used = %d after release", b.Used())
+	}
+	if _, _, err := b.Append(nil, 99, make([]byte, 120)); err != ErrFull {
+		t.Fatal("append beyond free space did not report full")
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := b.Append(nil, 100+uint64(i), []byte("0123456789012345")); err != nil {
+			t.Fatalf("append after release: %v", err)
+		}
+	}
+	_ = lastLogical
+}
+
+func TestWraparoundPadding(t *testing.T) {
+	b, _ := newBuf(256)
+	// 3 x 80-byte records (96B on NVM each): third leaves 64B at the end.
+	for i := 0; i < 2; i++ {
+		if _, _, err := b.Append(nil, uint64(i), make([]byte, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.ReleaseTo(96) // free the first record
+	// 64B remain at ring end; an 80-byte record (96B) must pad and wrap.
+	off, _, err := b.Append(nil, 2, make([]byte, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 { // wrapped to the region base
+		t.Fatalf("wrapped record at %d, want 0", off)
+	}
+	// Scan must skip the pad and see all three records.
+	var seen []uint64
+	b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
+		seen = append(seen, r.HSITIdx)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("scan after wrap = %v", seen)
+	}
+}
+
+func TestScanYieldsValuesAndOffsets(t *testing.T) {
+	b, _ := newBuf(2048)
+	want := map[uint64]string{}
+	for i := 0; i < 10; i++ {
+		v := fmt.Sprintf("value-%02d", i)
+		b.Append(nil, uint64(i), []byte(v))
+		want[uint64(i)] = v
+	}
+	n := 0
+	b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
+		if want[r.HSITIdx] != string(r.Value) {
+			t.Fatalf("record %d = %q", r.HSITIdx, r.Value)
+		}
+		// DevOff must read back the same value.
+		if got := b.ReadValue(nil, r.DevOff, len(r.Value)); !bytes.Equal(got, r.Value) {
+			t.Fatalf("DevOff mismatch for %d", r.HSITIdx)
+		}
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("scanned %d records", n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	b, _ := newBuf(2048)
+	for i := 0; i < 10; i++ {
+		b.Append(nil, uint64(i), []byte("x"))
+	}
+	n := 0
+	b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop scanned %d", n)
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	b, _ := newBuf(256)
+	if _, _, err := b.Append(nil, 1, make([]byte, 300)); err == nil || err == ErrFull {
+		t.Fatalf("oversized append: err = %v", err)
+	}
+}
+
+func TestReleaseToNeverRegresses(t *testing.T) {
+	b, _ := newBuf(256)
+	b.Append(nil, 1, make([]byte, 16))
+	b.ReleaseTo(32)
+	b.ReleaseTo(16) // stale release must not move tail backwards
+	if b.Tail() != 32 {
+		t.Fatalf("tail = %d", b.Tail())
+	}
+}
+
+func TestCostCharging(t *testing.T) {
+	b, _ := newBuf(1024)
+	clk := sim.NewClock(0)
+	b.Append(clk, 1, make([]byte, 128))
+	if clk.Now() == 0 {
+		t.Fatal("append charged no virtual time")
+	}
+}
+
+func TestManyLapsConsistency(t *testing.T) {
+	b, _ := newBuf(512)
+	logicalOf := map[int]uint64{}
+	offOf := map[int]uint64{}
+	val := func(i int) []byte { return []byte(fmt.Sprintf("payload-%06d", i)) } // 28B -> 48B rec
+	next := 0
+	for lap := 0; lap < 20; lap++ {
+		for {
+			off, logical, err := b.Append(nil, uint64(next), val(next))
+			if err == ErrFull {
+				break
+			}
+			logicalOf[next] = logical
+			offOf[next] = off
+			next++
+		}
+		// Verify the resident window then release half of it.
+		b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
+			if !bytes.Equal(r.Value, val(int(r.HSITIdx))) {
+				t.Fatalf("lap %d: record %d corrupted: %q", lap, r.HSITIdx, r.Value)
+			}
+			return true
+		})
+		b.ReleaseTo(b.Tail() + uint64(b.Used()/2/16*16))
+	}
+	if next < 100 {
+		t.Fatalf("only %d appends across 20 laps", next)
+	}
+}

@@ -1,0 +1,50 @@
+package slmdb
+
+import "errors"
+
+// extentAlloc is a minimal first-fit extent allocator with coalescing
+// for data-file placement (single-threaded, like the store).
+type extentAlloc struct {
+	free []extent
+}
+
+type extent struct{ off, n int64 }
+
+func newExtentAllocShim(size int64) *extentAlloc {
+	return &extentAlloc{free: []extent{{0, size}}}
+}
+
+var errNoSpace = errors.New("slmdb: device full")
+
+func (a *extentAlloc) alloc(n int64) (int64, error) {
+	for i := range a.free {
+		if a.free[i].n >= n {
+			off := a.free[i].off
+			a.free[i].off += n
+			a.free[i].n -= n
+			if a.free[i].n == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return off, nil
+		}
+	}
+	return 0, errNoSpace
+}
+
+func (a *extentAlloc) release(off, n int64) {
+	i := 0
+	for i < len(a.free) && a.free[i].off < off {
+		i++
+	}
+	a.free = append(a.free, extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = extent{off, n}
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].n == a.free[i+1].off {
+		a.free[i].n += a.free[i+1].n
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].n == a.free[i].off {
+		a.free[i-1].n += a.free[i].n
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}

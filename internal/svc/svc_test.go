@@ -1,0 +1,273 @@
+package svc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeHSIT emulates the word-1 publication protocol.
+type fakeHSIT struct {
+	mu    sync.Mutex
+	words map[uint64]uint64
+}
+
+func newFakeHSIT() *fakeHSIT { return &fakeHSIT{words: map[uint64]uint64{}} }
+
+func (f *fakeHSIT) cas(idx, old, new uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.words[idx] != old {
+		return false
+	}
+	f.words[idx] = new
+	return true
+}
+
+func (f *fakeHSIT) load(idx uint64) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.words[idx]
+}
+
+func newCache(t *testing.T, capacity int64, onEvict func(EvictedChain)) (*Cache, *fakeHSIT) {
+	t.Helper()
+	h := newFakeHSIT()
+	c := New(Config{
+		CapacityBytes: capacity,
+		OnScanEvict:   onEvict,
+		Unpublish:     func(idx, handle uint64) bool { return f_cas(h, idx, handle) },
+	})
+	t.Cleanup(c.Close)
+	return c, h
+}
+
+func f_cas(h *fakeHSIT, idx, handle uint64) bool { return h.cas(idx, handle, 0) }
+
+// admit publishes an entry the way the engine does.
+func admit(t *testing.T, c *Cache, h *fakeHSIT, idx uint64, key, val string) *Entry {
+	t.Helper()
+	e := c.Admit(idx, []byte(key), []byte(val))
+	if !h.cas(idx, 0, e.Handle()) {
+		c.AbortAdmit(e)
+		t.Fatalf("publish race for %d", idx)
+	}
+	c.Published(e)
+	return e
+}
+
+func TestAdmitLookup(t *testing.T) {
+	c, h := newCache(t, 1<<20, nil)
+	e := admit(t, c, h, 1, "k1", "v1")
+	got, ok := c.Lookup(1, e.Handle())
+	if !ok || string(got) != "v1" {
+		t.Fatalf("Lookup = %q, %v", got, ok)
+	}
+	c.Sync()
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLookupRejectsStaleHandle(t *testing.T) {
+	c, h := newCache(t, 1<<20, nil)
+	e := admit(t, c, h, 1, "k1", "v1")
+	handle := e.Handle()
+	// Remove and recycle the slot.
+	c.Invalidate(1, handle)
+	c.Sync()
+	e2 := admit(t, c, h, 2, "k2", "v2")
+	if e2.slot != e.slot {
+		t.Skip("slot not recycled; cannot test generation check")
+	}
+	if _, ok := c.Lookup(1, handle); ok {
+		t.Fatal("stale handle resolved after slot recycle")
+	}
+	if _, ok := c.Lookup(2, e2.Handle()); !ok {
+		t.Fatal("fresh handle failed")
+	}
+}
+
+func TestLookupRejectsWrongHSITIdx(t *testing.T) {
+	c, h := newCache(t, 1<<20, nil)
+	e := admit(t, c, h, 5, "k", "v")
+	if _, ok := c.Lookup(6, e.Handle()); ok {
+		t.Fatal("lookup with mismatched HSIT index succeeded")
+	}
+}
+
+func TestAbortAdmitFreesSlot(t *testing.T) {
+	c, _ := newCache(t, 1<<20, nil)
+	e := c.Admit(1, []byte("k"), []byte("v"))
+	c.AbortAdmit(e)
+	c.Sync()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after abort = %+v", st)
+	}
+	if _, ok := c.Lookup(1, e.Handle()); ok {
+		t.Fatal("aborted entry resolvable")
+	}
+}
+
+func TestEvictionAtCapacityUnpublishes(t *testing.T) {
+	// Each entry ~ 96 + 2 + 4 = 102 bytes; capacity fits ~5.
+	c, h := newCache(t, 512, nil)
+	var entries []*Entry
+	for i := uint64(0); i < 20; i++ {
+		entries = append(entries, admit(t, c, h, i, fmt.Sprintf("k%d", i), "vvvv"))
+	}
+	c.Sync()
+	st := c.Stats()
+	if st.Bytes > 512 {
+		t.Fatalf("over capacity: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions at capacity")
+	}
+	// Early entries must be unpublished from HSIT.
+	if h.load(0) != 0 {
+		t.Fatal("evicted entry still published")
+	}
+	// The most recent entry must survive.
+	last := entries[len(entries)-1]
+	if _, ok := c.Lookup(last.HSITIdx, last.Handle()); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}
+
+func Test2QPromotionProtectsHotEntries(t *testing.T) {
+	c, h := newCache(t, 1200, nil) // ~11 entries
+	hot := admit(t, c, h, 999, "hot", "dddd")
+	c.Sync()
+	// Touch hot so it promotes to the active list.
+	c.Lookup(999, hot.Handle())
+	c.Sync()
+	// Flood with one-touch-wonder entries.
+	for i := uint64(0); i < 100; i++ {
+		admit(t, c, h, i, fmt.Sprintf("cold%02d", i), "dddd")
+	}
+	c.Sync()
+	if _, ok := c.Lookup(999, hot.Handle()); !ok {
+		t.Fatal("promoted hot entry was evicted by cold scan flood")
+	}
+}
+
+func TestInvalidateRemoves(t *testing.T) {
+	c, h := newCache(t, 1<<20, nil)
+	e := admit(t, c, h, 1, "k", "v")
+	// Engine clears HSIT first, then invalidates the cache.
+	h.cas(1, e.Handle(), 0)
+	c.Invalidate(1, e.Handle())
+	c.Sync()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after invalidate", st.Entries)
+	}
+}
+
+func TestScanChainRewriteOnEviction(t *testing.T) {
+	var got [][]string
+	var mu sync.Mutex
+	c, h := newCache(t, 700, func(chain EvictedChain) {
+		var keys []string
+		for _, e := range chain.Entries {
+			keys = append(keys, string(e.Key))
+		}
+		mu.Lock()
+		got = append(got, keys)
+		mu.Unlock()
+	})
+	// Admit five values from one scan and chain them.
+	var handles []uint64
+	for i := 0; i < 5; i++ {
+		e := admit(t, c, h, uint64(i), fmt.Sprintf("s%02d", i), "vvvv")
+		handles = append(handles, e.Handle())
+	}
+	c.LinkChain(handles)
+	c.Sync()
+	// Flood until a chained entry is evicted.
+	for i := uint64(100); i < 130; i++ {
+		admit(t, c, h, i, fmt.Sprintf("f%02d", i), "vvvv")
+	}
+	c.Sync()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("chain eviction produced no rewrite")
+	}
+	if len(got) > 1 {
+		t.Fatalf("chain rewritten %d times, want once", len(got))
+	}
+	keys := got[0]
+	if len(keys) < 2 {
+		t.Fatalf("rewrite chain too short: %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("chain not in key order: %v", keys)
+		}
+	}
+}
+
+func TestChainConsumedAfterRewrite(t *testing.T) {
+	rewrites := 0
+	c, h := newCache(t, 400, func(chain EvictedChain) { rewrites++ })
+	var handles []uint64
+	for i := 0; i < 3; i++ {
+		e := admit(t, c, h, uint64(i), fmt.Sprintf("c%d", i), "vv")
+		handles = append(handles, e.Handle())
+	}
+	c.LinkChain(handles)
+	c.Sync()
+	for i := uint64(10); i < 40; i++ {
+		admit(t, c, h, i, fmt.Sprintf("x%02d", i), "vv")
+	}
+	c.Sync()
+	if rewrites > 1 {
+		t.Fatalf("chain rewritten %d times", rewrites)
+	}
+	if st := c.Stats(); st.ChainRewrites != int64(rewrites) {
+		t.Fatalf("rewrite counter %d != %d", st.ChainRewrites, rewrites)
+	}
+}
+
+func TestConcurrentLookupsAndAdmissions(t *testing.T) {
+	c, h := newCache(t, 1<<18, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				idx := uint64(w*1000 + i)
+				e := c.Admit(idx, []byte(fmt.Sprintf("k%d", idx)), []byte("val"))
+				if h.cas(idx, 0, e.Handle()) {
+					c.Published(e)
+					if v, ok := c.Lookup(idx, e.Handle()); ok && string(v) != "val" {
+						t.Errorf("bad value %q", v)
+					}
+				} else {
+					c.AbortAdmit(e)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Sync()
+	if st := c.Stats(); st.Bytes > 1<<18 {
+		t.Fatalf("over capacity after concurrency: %+v", st)
+	}
+}
+
+func TestCloseIsIdempotentAndSafe(t *testing.T) {
+	h := newFakeHSIT()
+	c := New(Config{
+		CapacityBytes: 1 << 16,
+		Unpublish:     func(idx, handle uint64) bool { return h.cas(idx, handle, 0) },
+	})
+	c.Close()
+	c.Close()
+	// Posting after close must not panic or block.
+	c.Invalidate(1, 42)
+	c.Sync()
+}

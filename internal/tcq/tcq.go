@@ -1,0 +1,263 @@
+// Package tcq implements opportunistic thread combining for Value
+// Storage reads (§5.3).
+//
+// Concurrent reader threads line up in a Thread Combining Queue — an
+// MCS-style list built with one atomic swap on the tail. The thread that
+// finds the tail empty becomes the leader: it walks the queue, coalesces
+// up to QueueDepth read requests (its own plus its followers'), submits
+// them as one asynchronous batch, and distributes completions. Followers
+// return as soon as the leader has serviced them. When the queue is
+// longer than the coalescing limit, the leader hands leadership to the
+// next waiter, so heavy read concurrency turns into large, bandwidth-
+// efficient batches while a lone reader pays only its own latency — the
+// dynamic batch-size adaptation the paper claims.
+//
+// The package also provides TimeoutBatcher, the timeout-based
+// asynchronous IO baseline ("TA") that Figure 11 compares against.
+package tcq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ssd"
+)
+
+// DefaultDepth is the paper's coalescing limit (io_uring queue depth).
+const DefaultDepth = 64
+
+type node struct {
+	req  ssd.Request
+	at   int64
+	done chan int64 // receives the request's DoneTime
+	lead chan struct{}
+	next atomic.Pointer[node]
+}
+
+// Queue is a thread combining queue bound to one SSD (one Value Storage).
+type Queue struct {
+	dev   *ssd.Device
+	depth int
+	tail  atomic.Pointer[node]
+
+	batches  atomic.Int64
+	combined atomic.Int64
+}
+
+// New creates a queue over dev with the given coalescing limit
+// (DefaultDepth if 0).
+func New(dev *ssd.Device, depth int) *Queue {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Queue{dev: dev, depth: depth}
+}
+
+// Depth returns the coalescing limit.
+func (q *Queue) Depth() int { return q.depth }
+
+// Read submits one read request at virtual time at, possibly combined
+// with concurrent readers' requests, and returns its completion time.
+// The request's Data is filled on return.
+func (q *Queue) Read(at int64, req ssd.Request) int64 {
+	n := &node{req: req, at: at, done: make(chan int64, 1), lead: make(chan struct{}, 1)}
+	prev := q.tail.Swap(n)
+	if prev != nil {
+		prev.next.Store(n)
+		select {
+		case d := <-n.done:
+			return d
+		case <-n.lead:
+			// Leadership handed off: n leads the remaining queue.
+			return q.lead(n)
+		}
+	}
+	return q.lead(n)
+}
+
+// lead collects a batch starting at n, submits it, and distributes
+// completions. It returns n's own completion time.
+//
+// The leader yields once before collecting so that concurrently runnable
+// readers get to enqueue behind it — the "opportunistic" part of the
+// scheme. Without the yield, a cooperative scheduler (GOMAXPROCS=1)
+// would let every leader run to completion alone and no combining could
+// ever occur.
+func (q *Queue) lead(n *node) int64 {
+	runtime.Gosched()
+	batch := []*node{n}
+	cur := n
+	for {
+		if len(batch) >= q.depth {
+			break
+		}
+		next := cur.next.Load()
+		if next == nil {
+			// Possibly the true end of the queue: try to close it.
+			if q.tail.CompareAndSwap(cur, nil) {
+				break
+			}
+			// A follower is mid-enqueue: wait for its link.
+			for next == nil {
+				runtime.Gosched()
+				next = cur.next.Load()
+			}
+		}
+		batch = append(batch, next)
+		cur = next
+	}
+
+	// At the coalescing limit, either close the queue or hand leadership
+	// to the next waiter before doing our IO.
+	if len(batch) >= q.depth {
+		if !q.tail.CompareAndSwap(cur, nil) {
+			next := cur.next.Load()
+			for next == nil {
+				runtime.Gosched()
+				next = cur.next.Load()
+			}
+			next.lead <- struct{}{}
+		}
+	}
+
+	// Coalesce and submit (§5.3 step 3). The batch shares one submission
+	// (one syscall worth of CPU), but each member's IO is scheduled no
+	// earlier than the later of its own arrival and the leader's — a
+	// straggler member cannot delay the rest, it just lands later in the
+	// device queue.
+	q.batches.Add(1)
+	q.combined.Add(int64(len(batch)))
+	leaderAt := n.at
+	var own int64
+	for _, b := range batch {
+		at := b.at
+		if leaderAt > at {
+			at = leaderAt
+		}
+		comps := q.dev.Submit(at, []ssd.Request{b.req})
+		if b == n {
+			own = comps[0].DoneTime
+		} else {
+			b.done <- comps[0].DoneTime
+		}
+	}
+	return own
+}
+
+// Stats reports combining effectiveness.
+type Stats struct {
+	Batches  int64
+	Combined int64 // total requests across all batches
+}
+
+// AvgBatch returns the mean requests per submission.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Combined) / float64(s.Batches)
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue) Stats() Stats {
+	return Stats{Batches: q.batches.Load(), Combined: q.combined.Load()}
+}
+
+// TimeoutBatcher is the timeout-based asynchronous IO baseline of Figure
+// 11 ("TA"): requests accumulate until the batch reaches the queue depth
+// or a fixed timeout elapses from the first request, then the whole batch
+// is submitted. Under low concurrency every request eats the timeout;
+// under high concurrency it behaves like static batching.
+type TimeoutBatcher struct {
+	dev     *ssd.Device
+	depth   int
+	timeout int64 // virtual ns added to the group's first arrival
+
+	// Grace is the real-time delay before a pending group is rescued and
+	// flushed at its virtual deadline (default 200us). It only affects
+	// wall-clock progress, never virtual-time results.
+	Grace time.Duration
+
+	mu      sync.Mutex
+	group   []*node
+	timer   *time.Timer
+	batches atomic.Int64
+}
+
+// NewTimeoutBatcher creates the TA baseline. timeout is virtual
+// nanoseconds (the paper uses 100 us).
+func NewTimeoutBatcher(dev *ssd.Device, depth int, timeout int64) *TimeoutBatcher {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	if timeout <= 0 {
+		timeout = 100_000
+	}
+	return &TimeoutBatcher{dev: dev, depth: depth, timeout: timeout}
+}
+
+// Read submits req at virtual time at and blocks until its batch flushes.
+func (b *TimeoutBatcher) Read(at int64, req ssd.Request) int64 {
+	n := &node{req: req, at: at, done: make(chan int64, 1)}
+	b.mu.Lock()
+	b.group = append(b.group, n)
+	if len(b.group) == 1 {
+		// Arm a real-time trigger standing in for the device-poll timer;
+		// the flush itself happens at the virtual deadline.
+		grace := b.Grace
+		if grace == 0 {
+			grace = 200 * time.Microsecond
+		}
+		b.timer = time.AfterFunc(grace, func() { b.flush(true) })
+	}
+	if len(b.group) >= b.depth {
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		b.flushLocked(false)
+		b.mu.Unlock()
+		return <-n.done
+	}
+	b.mu.Unlock()
+	return <-n.done
+}
+
+func (b *TimeoutBatcher) flush(timedOut bool) {
+	b.mu.Lock()
+	b.flushLocked(timedOut)
+	b.mu.Unlock()
+}
+
+func (b *TimeoutBatcher) flushLocked(timedOut bool) {
+	if len(b.group) == 0 {
+		return
+	}
+	group := b.group
+	b.group = nil
+	submitAt := group[0].at
+	for _, g := range group {
+		if g.at > submitAt {
+			submitAt = g.at
+		}
+	}
+	if timedOut {
+		// The batch waited out the timer from its first arrival.
+		if d := group[0].at + b.timeout; d > submitAt {
+			submitAt = d
+		}
+	}
+	reqs := make([]ssd.Request, len(group))
+	for i, g := range group {
+		reqs[i] = g.req
+	}
+	comps := b.dev.Submit(submitAt, reqs)
+	b.batches.Add(1)
+	for i, g := range group {
+		g.done <- comps[i].DoneTime
+	}
+}
+
+// Flush forces any pending group out (shutdown/drain).
+func (b *TimeoutBatcher) Flush() { b.flush(true) }

@@ -1,0 +1,342 @@
+package valuestore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/epoch"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+func newStore(t *testing.T, chunks, chunkSize int) (*Store, *epoch.Manager) {
+	t.Helper()
+	em := epoch.NewManager()
+	dev := ssd.New(ssd.Config{Size: int64(chunks * chunkSize)})
+	return NewStore(dev, chunkSize, em), em
+}
+
+func TestRecordEncodeDecode(t *testing.T) {
+	f := func(idx uint64, val []byte) bool {
+		if len(val) > 4096 {
+			val = val[:4096]
+		}
+		buf := make([]byte, RecordSize(len(val)))
+		EncodeRecord(buf, idx, val)
+		gi, gv, ok := DecodeRecord(buf)
+		return ok && gi == idx && bytes.Equal(gv, val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, ok := DecodeRecord(make([]byte, 32)); ok {
+		t.Fatal("decoded zeroed bytes")
+	}
+	if _, _, ok := DecodeRecord([]byte{1, 2}); ok {
+		t.Fatal("decoded short buffer")
+	}
+}
+
+func TestWriterCommitAndRead(t *testing.T) {
+	s, _ := newStore(t, 4, 4096)
+	w, err := s.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[uint64]uint64{} // hsitIdx -> localOff
+	for i := uint64(0); i < 10; i++ {
+		off, ok := w.Add(i, []byte(fmt.Sprintf("value-%d", i)))
+		if !ok {
+			t.Fatal("chunk full unexpectedly")
+		}
+		vals[i] = off
+	}
+	done, entries := w.Commit(0)
+	if done <= 0 {
+		t.Fatal("commit returned no virtual time")
+	}
+	if len(entries) != 10 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	for i, off := range vals {
+		if !s.IsValid(off) {
+			t.Fatalf("record %d not valid after commit", i)
+		}
+		req := s.ReadAt(off, len(fmt.Sprintf("value-%d", i)))
+		s.Dev.Submit(done, []ssd.Request{req})
+		gi, gv, ok := DecodeRecord(req.Data)
+		if !ok || gi != i || string(gv) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("read back record %d: ok=%v idx=%d val=%q", i, ok, gi, gv)
+		}
+	}
+}
+
+func TestInvalidateAndChunkRecycling(t *testing.T) {
+	s, _ := newStore(t, 2, 4096)
+	w, _ := s.NewWriter()
+	off1, _ := w.Add(1, []byte("a"))
+	off2, _ := w.Add(2, []byte("b"))
+	w.Commit(0)
+	if s.FreeChunks() != 1 {
+		t.Fatalf("free = %d", s.FreeChunks())
+	}
+	if !s.Invalidate(off1, 1) {
+		t.Fatal("invalidate live record failed")
+	}
+	if s.Invalidate(off1, 1) {
+		t.Fatal("double invalidate succeeded")
+	}
+	if s.IsValid(off1) || !s.IsValid(off2) {
+		t.Fatal("bitmap wrong after invalidate")
+	}
+	// Invalidate the last record: the empty chunk is reclaimed at once.
+	s.Invalidate(off2, 1)
+	if s.FreeChunks() != 2 {
+		t.Fatalf("empty chunk not recycled: free = %d", s.FreeChunks())
+	}
+}
+
+func TestWriterFullAndAbort(t *testing.T) {
+	s, em := newStore(t, 1, 256)
+	w, _ := s.NewWriter()
+	if _, err := s.NewWriter(); err != ErrNoFreeChunk {
+		t.Fatalf("second writer err = %v", err)
+	}
+	// 256-byte chunk fits 2 records of 100B value (112B each) plus none.
+	if _, ok := w.Add(1, make([]byte, 100)); !ok {
+		t.Fatal("first add failed")
+	}
+	if _, ok := w.Add(2, make([]byte, 100)); !ok {
+		t.Fatal("second add failed")
+	}
+	if _, ok := w.Add(3, make([]byte, 100)); ok {
+		t.Fatal("overfull add succeeded")
+	}
+	w.Abort()
+	em.Barrier()
+	if s.FreeChunks() != 1 {
+		t.Fatal("aborted chunk not released")
+	}
+}
+
+func TestEmptyCommitReleasesChunk(t *testing.T) {
+	s, em := newStore(t, 1, 256)
+	w, _ := s.NewWriter()
+	done, entries := w.Commit(77)
+	if done != 77 || entries != nil {
+		t.Fatalf("empty commit = (%d, %v)", done, entries)
+	}
+	em.Barrier()
+	if s.FreeChunks() != 1 {
+		t.Fatal("chunk leaked on empty commit")
+	}
+}
+
+func TestGCMigratesOnlyLiveRecords(t *testing.T) {
+	s, em := newStore(t, 4, 1024)
+	// Fill two chunks, then invalidate most records.
+	hsit := map[uint64]uint64{} // hsitIdx -> current localOff
+	var idx uint64
+	for c := 0; c < 2; c++ {
+		w, _ := s.NewWriter()
+		for {
+			off, ok := w.Add(idx, []byte(fmt.Sprintf("v%04d", idx)))
+			if !ok {
+				break
+			}
+			hsit[idx] = off
+			idx++
+		}
+		w.Commit(0)
+	}
+	// Keep only records 0 and 1 of each chunk live.
+	live := map[uint64]bool{}
+	perChunk := int(idx) / 2
+	for i := uint64(0); i < idx; i++ {
+		pos := int(i) % perChunk
+		if pos < 2 {
+			live[i] = true
+		} else {
+			s.Invalidate(hsit[i], 5)
+		}
+	}
+	relocations := 0
+	freed, done := s.GC(0, 2, func(h, oldOff, newOff uint64, n int) bool {
+		if hsit[h] != oldOff {
+			t.Fatalf("relocate with stale old offset for %d", h)
+		}
+		if !live[h] {
+			t.Fatalf("GC migrated dead record %d", h)
+		}
+		hsit[h] = newOff
+		relocations++
+		return true
+	})
+	if freed != 2 {
+		t.Fatalf("freed %d chunks, want 2", freed)
+	}
+	if relocations != 4 {
+		t.Fatalf("relocated %d, want 4", relocations)
+	}
+	if done <= 0 {
+		t.Fatal("GC consumed no virtual time")
+	}
+	em.Barrier()
+	// All four live records must be valid at their new locations and
+	// readable.
+	for h := range live {
+		if !s.IsValid(hsit[h]) {
+			t.Fatalf("record %d invalid after GC", h)
+		}
+		req := s.ReadAt(hsit[h], 5)
+		s.Dev.Submit(done, []ssd.Request{req})
+		gi, gv, ok := DecodeRecord(req.Data)
+		if !ok || gi != h || string(gv) != fmt.Sprintf("v%04d", h) {
+			t.Fatalf("record %d corrupt after GC: %q", h, gv)
+		}
+	}
+	st := s.Stats()
+	if st.GCRuns != 1 || st.GCLiveMoved != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGCRespectsFailedRelocation(t *testing.T) {
+	s, _ := newStore(t, 4, 1024)
+	w, _ := s.NewWriter()
+	off, _ := w.Add(9, []byte("stale"))
+	w.Commit(0)
+	// Invalidate nothing, but refuse relocation (value superseded).
+	s.GC(0, 1, func(h, oldOff, newOff uint64, n int) bool {
+		if oldOff != off {
+			t.Fatalf("unexpected relocation of %d", h)
+		}
+		return false
+	})
+	// The new location must have been invalidated; chunk accounting must
+	// not count the failed migration as live anywhere permanent.
+	st := s.Stats()
+	if st.GCLiveMoved != 0 {
+		t.Fatalf("failed relocation counted as moved: %+v", st)
+	}
+}
+
+func TestGlobalOffsetRoundTrip(t *testing.T) {
+	f := func(dev uint8, off uint64) bool {
+		d := int(dev % 64)
+		o := off & localOffMask
+		gd, go_ := SplitOff(GlobalOff(d, o))
+		return gd == d && go_ == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerPickIdleAndInvalidate(t *testing.T) {
+	em := epoch.NewManager()
+	var devs []*ssd.Device
+	for i := 0; i < 4; i++ {
+		devs = append(devs, ssd.New(ssd.Config{Size: 1 << 16, Name: fmt.Sprintf("ssd%d", i)}))
+	}
+	m := NewManager(devs, 4096, em)
+	rng := sim.NewRNG(3)
+	di, st := m.PickIdle(rng)
+	if st != m.Stores[di] {
+		t.Fatal("PickIdle index/store mismatch")
+	}
+	w, _ := st.NewWriter()
+	local, _ := w.Add(5, []byte("x"))
+	w.Commit(0)
+	g := GlobalOff(di, local)
+	if !m.IsValid(g) {
+		t.Fatal("record not valid via manager")
+	}
+	if !m.Invalidate(g, 1) {
+		t.Fatal("manager invalidate failed")
+	}
+	if m.IsValid(g) {
+		t.Fatal("record valid after invalidate")
+	}
+}
+
+func TestRecoveryRebuild(t *testing.T) {
+	em := epoch.NewManager()
+	dev := ssd.New(ssd.Config{Size: 8 * 1024})
+	m := NewManager([]*ssd.Device{dev}, 1024, em)
+	s := m.Stores[0]
+	w, _ := s.NewWriter()
+	offA, _ := w.Add(1, []byte("aaaa"))
+	offB, _ := w.Add(2, []byte("bbbb"))
+	w.Commit(0)
+
+	// Crash: volatile bitmaps are lost. Rebuild with only A reachable.
+	m.BeginRecovery()
+	if s.FreeChunks() != 0 {
+		t.Fatal("BeginRecovery left free chunks")
+	}
+	m.MarkRecovered(GlobalOff(0, offA), 4)
+	m.FinishRecovery()
+	if !m.IsValid(GlobalOff(0, offA)) {
+		t.Fatal("reachable record not valid after recovery")
+	}
+	if m.IsValid(GlobalOff(0, offB)) {
+		t.Fatal("unreachable record valid after recovery")
+	}
+	if s.FreeChunks() != 7 {
+		t.Fatalf("free chunks after recovery = %d, want 7", s.FreeChunks())
+	}
+	// The revived chunk is 100% live from recovery's perspective, so the
+	// greedy policy must NOT churn it.
+	moved := 0
+	s.GC(0, 8, func(h, oldOff, newOff uint64, n int) bool {
+		moved++
+		return true
+	})
+	if moved != 0 {
+		t.Fatalf("GC churned a fully-live recovered chunk (%d moved)", moved)
+	}
+	// Add a second sparse chunk; now compaction nets a whole chunk, so
+	// GC must merge both survivors (A and C) into one output chunk.
+	w2, _ := s.NewWriter()
+	offC, _ := w2.Add(3, []byte("cccc"))
+	offD, _ := w2.Add(4, []byte("dddd"))
+	w2.Commit(0)
+	m.Invalidate(GlobalOff(0, offD), 4)
+	newLoc := map[uint64]uint64{}
+	s.GC(0, 8, func(h, oldOff, newOff uint64, n int) bool {
+		if h != 1 && h != 3 {
+			t.Fatalf("unexpected relocation: h=%d old=%d", h, oldOff)
+		}
+		newLoc[h] = newOff
+		return true
+	})
+	if len(newLoc) != 2 {
+		t.Fatalf("GC merged %d survivors, want 2 (A and C)", len(newLoc))
+	}
+	for h, off := range newLoc {
+		if !s.IsValid(off) {
+			t.Fatalf("survivor %d invalid after GC", h)
+		}
+	}
+	_ = offC
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s, _ := newStore(t, 4, 1024)
+	w, _ := s.NewWriter()
+	w.Add(1, make([]byte, 100))
+	w.Commit(0)
+	st := s.Stats()
+	if st.ChunksWritten != 1 || st.BytesWritten != int64(RecordSize(100)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LiveChunks != 1 || st.FreeChunks != 3 {
+		t.Fatalf("chunk accounting = %+v", st)
+	}
+}

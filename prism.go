@@ -1,0 +1,69 @@
+// Package prism is a from-scratch Go reproduction of Prism, the
+// key-value store for modern heterogeneous storage devices described in
+//
+//	Song, Kim, Monga, Min, Eom. "Prism: Optimizing Key-Value Store for
+//	Modern Heterogeneous Storage Devices." ASPLOS 2023.
+//
+// Prism places each component on the storage medium that best matches
+// its needs: a Persistent Key Index and Heterogeneous Storage Index
+// Table (HSIT) on byte-addressable NVM, per-thread Persistent Write
+// Buffers (PWB) on NVM, log-structured Value Storage on flash SSDs, and
+// a Scan-aware Value Cache (SVC) in DRAM. Cross-media concurrency
+// control and crash consistency ride on the HSIT's forward/backward
+// pointer coupling and dirty-bit flush-on-read protocol.
+//
+// The storage devices themselves are simulated (this reproduction runs
+// without Optane DIMMs or NVMe arrays): NVM with cache-line flush/fence
+// persistence semantics and crash simulation, SSDs with asynchronous
+// submission/completion queues and a virtual-time bandwidth/latency
+// model. All of Prism's algorithms — thread combining, 2Q caching,
+// chunked log-structured writes, garbage collection, epoch-based
+// reclamation, recovery — are implemented for real on top of that model.
+// See DESIGN.md for the full substitution rationale.
+//
+// # Quick start
+//
+//	store, err := prism.Open(prism.Options{})
+//	if err != nil { ... }
+//	defer store.Close()
+//
+//	t := store.Thread(0) // one handle per application thread
+//	t.Put([]byte("k"), []byte("v"))
+//	v, err := t.Get([]byte("k"))
+//	t.Scan([]byte("a"), 10, func(kv prism.KV) bool { ...; return true })
+//
+// Thread handles are not safe for concurrent use; distinct handles run
+// in parallel and scale with the paper's cross-storage concurrency
+// control.
+package prism
+
+import "repro/internal/core"
+
+// Options configures a Store; see core.Options for field documentation.
+// The zero value opens a small test-sized store.
+type Options = core.Options
+
+// Store is a Prism key-value store over simulated heterogeneous devices.
+type Store = core.Store
+
+// Thread is one application thread's handle (virtual clock, epoch
+// registration, private Persistent Write Buffer).
+type Thread = core.Thread
+
+// KV is one key-value pair yielded by Thread.Scan.
+type KV = core.KV
+
+// Stats is a snapshot of store counters.
+type Stats = core.Stats
+
+// RecoveryReport summarizes a post-crash recovery pass.
+type RecoveryReport = core.RecoveryReport
+
+// Sentinel errors.
+var (
+	ErrNotFound = core.ErrNotFound
+	ErrClosed   = core.ErrClosed
+)
+
+// Open creates a Store over fresh simulated NVM and SSD devices.
+func Open(opt Options) (*Store, error) { return core.Open(opt) }
