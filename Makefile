@@ -1,0 +1,31 @@
+# Offline-only build: everything is Go standard library.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci check-docs
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check-docs fails if METRICS.md names a metric the registry does not
+# export (or vice versa) — see docs_test.go.
+check-docs:
+	$(GO) test -run 'TestMetricsDocsComplete|TestReadmeMentionsMetrics' -count=1 .
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# ci is the full gate: build, vet, race-enabled tests (tier-1 plus the
+# doc-link checker, which is an ordinary test).
+ci: build vet race

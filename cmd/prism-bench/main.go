@@ -17,6 +17,14 @@
 //	-ops N       measured operations (default 20000)
 //	-value N     value size in bytes (default 1024)
 //	-zipf F      zipfian coefficient (default 0.99)
+//
+// Observability (METRICS.md):
+//
+//	-metrics            after the tables, print one JSON document with the
+//	                    final obs snapshot of every Prism store the
+//	                    experiments opened (the last line of output)
+//	-metrics-every MS   additionally sample every metric each MS of
+//	                    virtual time (a Fig-17-style timeline per capture)
 package main
 
 import (
@@ -40,6 +48,8 @@ func main() {
 		zipf    = flag.Float64("zipf", 0.99, "zipfian coefficient")
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		metrics = flag.Bool("metrics", false, "print a final metrics-snapshot JSON document (see METRICS.md)")
+		every   = flag.Int64("metrics-every", 0, "also sample metrics every N virtual ms (implies -metrics)")
 	)
 	flag.Parse()
 
@@ -61,6 +71,12 @@ func main() {
 		ValueSize: *value,
 		Zipfian:   *zipf,
 		Seed:      *seed,
+	}
+	var mc *bench.MetricsCollector
+	if *metrics || *every > 0 {
+		mc = &bench.MetricsCollector{}
+		rc.Metrics = mc
+		rc.SampleNS = *every * 1_000_000
 	}
 
 	names := strings.Split(*run, ",")
@@ -86,5 +102,10 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	if mc != nil {
+		// The JSON document is the last thing printed, so scripts can
+		// extract it with e.g. `awk '/^{/,0'`.
+		fmt.Println(mc.JSON())
 	}
 }

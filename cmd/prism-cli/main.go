@@ -9,6 +9,8 @@
 //	del <key>              delete a key
 //	scan <start> <n>       range scan
 //	stats                  engine counters (SVC hits, reclaims, GC, ...)
+//	metrics [name...]      obs snapshot (all metrics, or just the named
+//	                       ones); 'metrics -json' dumps METRICS.md JSON
 //	crash                  simulate power failure + recovery
 //	help | quit
 package main
@@ -106,6 +108,31 @@ func main() {
 			fmt.Printf("writes: reclaims=%d migrated=%d stalls=%d\n", s.Reclaims, s.PWBLiveMigrated, s.PutStalls)
 			fmt.Printf("value storage: chunksWritten=%d gcRuns=%d free=%d\n", s.VS.ChunksWritten, s.VS.GCRuns, s.VS.FreeChunks)
 			fmt.Printf("nvm space: index=%dB hsit=%dB\n", s.IndexSpaceBytes, s.HSITSpaceBytes)
+		case "metrics", ".metrics":
+			snap := store.Metrics()
+			if len(fields) > 1 && fields[1] == "-json" {
+				fmt.Println(snap.JSON())
+				continue
+			}
+			if len(fields) > 1 {
+				// Filter to the named metrics (exact names, see METRICS.md).
+				want := map[string]bool{}
+				for _, n := range fields[1:] {
+					want[n] = true
+				}
+				var keep prism.Metrics
+				for _, m := range snap.Metrics {
+					if want[m.Name] {
+						keep.Metrics = append(keep.Metrics, m)
+					}
+				}
+				if len(keep.Metrics) == 0 {
+					fmt.Println("no such metric; 'metrics' lists all (see METRICS.md)")
+					continue
+				}
+				snap = keep
+			}
+			fmt.Print(snap.Text())
 		case "crash":
 			fmt.Println("simulating power failure...")
 			store.Crash()
@@ -117,7 +144,7 @@ func main() {
 			fmt.Printf("recovered %d keys (%d lost, %d drained from PWB) in %.2f virtual ms\n",
 				rep.LiveKeys, rep.LostKeys, rep.PWBValuesDrained, float64(rep.VirtualNS)/1e6)
 		case "help":
-			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | stats | crash | quit")
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | stats | metrics [name...|-json] | crash | quit")
 		case "quit", "exit":
 			return
 		default:

@@ -37,6 +37,7 @@ func main() {
 		value      = flag.Int("value", 1024, "value size in bytes")
 		zipf       = flag.Float64("zipf", 0.99, "zipfian coefficient for -record")
 		seed       = flag.Uint64("seed", 42, "generator seed for -record")
+		metrics    = flag.Bool("metrics", false, "after -replay, print the final metrics snapshot as JSON (see METRICS.md)")
 	)
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 	case *record != "":
 		doRecord(*record, ycsb.Workload((*workload)[0]), *records, *ops, *value, *zipf, *seed)
 	case *replay != "":
-		doReplay(*replay, *engineName, *records, *value)
+		doReplay(*replay, *engineName, *records, *value, *metrics)
 	default:
 		fmt.Fprintln(os.Stderr, "need -record <file> or -replay <file>")
 		os.Exit(1)
@@ -66,7 +67,7 @@ func doRecord(path string, w ycsb.Workload, records, ops, value int, zipf float6
 	fmt.Printf("recorded %d ops of workload %c to %s\n", ops, w, path)
 }
 
-func doReplay(path, engineName string, records, value int) {
+func doReplay(path, engineName string, records, value int, metrics bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -120,6 +121,13 @@ func doReplay(path, engineName string, records, value int) {
 		engineName, rep.Len(), float64(dur)/1e6,
 		float64(rep.Len())/(float64(dur)/1e9)/1e3, errors)
 	fmt.Printf("latency: %s\n", h.Summarize())
+	if metrics {
+		if src, ok := st.(bench.MetricsSource); ok {
+			fmt.Println(src.Metrics().JSON())
+		} else {
+			fmt.Println("{}")
+		}
+	}
 }
 
 func fatal(err error) {

@@ -4,9 +4,12 @@
 //
 //	ycsb-run -engine prism -workload C -threads 8 -records 20000 -ops 50000
 //	ycsb-run -engine kvell -workload E -zipf 1.2
+//	ycsb-run -engine prism -workload A -metrics   # + JSON metrics snapshot
 //
 // Engines: prism, kvell, matrixkv, rocksdb-nvm, slm-db.
 // Workloads: L (load only), A, B, C, D, E, N (Nutanix mix).
+// -metrics prints the store's final obs snapshot (METRICS.md) as the last
+// output, as one JSON document; baselines without a registry print {}.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 		value      = flag.Int("value", 1024, "value size in bytes")
 		zipf       = flag.Float64("zipf", 0.99, "zipfian coefficient")
 		seed       = flag.Uint64("seed", 42, "workload seed")
+		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot as JSON (see METRICS.md)")
 	)
 	flag.Parse()
 
@@ -74,6 +78,13 @@ func main() {
 	if user > 0 {
 		fmt.Printf("SSD write amplification: %.2f (%d device bytes / %d user bytes)\n",
 			float64(dev)/float64(user), dev, user)
+	}
+	if *metrics {
+		if src, ok := st.(bench.MetricsSource); ok {
+			fmt.Println(src.Metrics().JSON())
+		} else {
+			fmt.Println("{}")
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+package prism
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// metricsDocRow matches the first cell of a METRICS.md table row:
+// "| `name` | type | ...". Prose mentions of metrics are not rows and
+// are ignored.
+var metricsDocRow = regexp.MustCompile("(?m)^\\| `([a-z0-9_.]+)`")
+
+// TestMetricsDocsComplete keeps METRICS.md and the registry in lockstep:
+// every documented metric must be exported by some store configuration,
+// and every exported metric must be documented. The export set is the
+// union of the default configuration and the DisableCombining ablation
+// (which swaps the tcq.* family for ta.*).
+func TestMetricsDocsComplete(t *testing.T) {
+	doc, err := os.ReadFile("METRICS.md")
+	if err != nil {
+		t.Fatalf("METRICS.md: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range metricsDocRow.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) < 40 {
+		t.Fatalf("only %d metrics documented in METRICS.md; table format changed?", len(documented))
+	}
+
+	exported := map[string]bool{}
+	for _, opt := range []Options{{}, {DisableCombining: true}} {
+		st, err := Open(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range st.Metrics().Names() {
+			exported[n] = true
+		}
+		st.Close()
+	}
+
+	for n := range documented {
+		if !exported[n] {
+			t.Errorf("METRICS.md documents %q but no store configuration exports it", n)
+		}
+	}
+	for n := range exported {
+		if !documented[n] {
+			t.Errorf("registry exports %q but METRICS.md does not document it", n)
+		}
+	}
+}
+
+// TestReadmeMentionsMetrics keeps the README's observability section
+// pointing at the reference doc.
+func TestReadmeMentionsMetrics(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md: %v", err)
+	}
+	for _, want := range []string{"METRICS.md", "-metrics", "Metrics()"} {
+		if !regexp.MustCompile(regexp.QuoteMeta(want)).Match(readme) {
+			t.Errorf("README.md does not mention %q", want)
+		}
+	}
+}

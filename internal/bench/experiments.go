@@ -41,12 +41,16 @@ func runSuite(kinds []string, workloads []ycsb.Workload, p Params, rc RunConfig)
 			rck.Threads = 1
 		}
 		res[ycsb.Load] = Load(st, kind, rck)
+		var samples []MetricSample
 		for _, w := range workloads {
 			if w == ycsb.Load {
 				continue
 			}
-			res[w] = Run(st, kind, w, rck)
+			r := Run(st, kind, w, rck)
+			res[w] = r
+			samples = append(samples, r.MetricSamples...)
 		}
+		rc.Metrics.Capture(st, kind, "suite", samples)
 		st.Close()
 		out[kind] = res
 	}
@@ -148,6 +152,7 @@ func Fig8(rc RunConfig) (Table, map[string]map[ycsb.Workload]Result) {
 		for _, w := range stdWorkloads[1:] {
 			res[w] = Run(st, e.kind, w, rc)
 		}
+		rc.Metrics.Capture(st, e.kind, "suite", nil)
 		st.Close()
 		out[e.kind] = res
 	}
@@ -308,6 +313,11 @@ func Fig11(rc RunConfig) Table {
 			}
 			Load(st, EnginePrism, rc)
 			r[mode] = Run(st, EnginePrism, ycsb.WorkloadC, rc)
+			scheme := "TC"
+			if disable {
+				scheme = "TA"
+			}
+			rc.Metrics.Capture(st, EnginePrism, fmt.Sprintf("fig11-%s-qd%d", scheme, qd), nil)
 			st.Close()
 		}
 		t.Rows = append(t.Rows, []string{
@@ -347,6 +357,7 @@ func Fig12(rc RunConfig) Table {
 				d0, u0 := st.WriteAmp()
 				Run(st, kind, ycsb.WorkloadA, rcz) // 50% updates
 				d1, u1 := st.WriteAmp()
+				rc.Metrics.Capture(st, kind, fmt.Sprintf("fig12-%dB-z%.2f", vs, z), nil)
 				st.Close()
 				if u1 > u0 {
 					row = append(row, f2(float64(d1-d0)/float64(u1-u0)))
@@ -527,9 +538,13 @@ func Fig17(rc RunConfig) (Table, []TimelinePoint, core.Stats) {
 	}
 	Load(st, EnginePrism, rc)
 	rc.TimelineBucketNS = 20 * 1_000_000 // 20 virtual ms per sample
+	if rc.Metrics != nil && rc.SampleNS == 0 {
+		rc.SampleNS = rc.TimelineBucketNS // metrics timeline on the same grid
+	}
 	r := Run(st, EnginePrism, ycsb.WorkloadA, rc)
 	ps := st.(*engine.PrismStore)
 	stats := ps.S.Stats()
+	rc.Metrics.Capture(st, EnginePrism, "fig17", r.MetricSamples)
 	st.Close()
 
 	t := Table{

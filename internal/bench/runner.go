@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/ycsb"
 )
@@ -34,6 +35,16 @@ type RunConfig struct {
 	// TimelineBucketNS, when > 0, collects completed-op counts per
 	// virtual-time bucket (Figure 17).
 	TimelineBucketNS int64
+
+	// SampleNS, when > 0 and the store implements MetricsSource, snapshots
+	// every registered metric each SampleNS of virtual time, producing a
+	// Figure-17-style timeline for any metric (Result.MetricSamples).
+	SampleNS int64
+
+	// Metrics, when non-nil, receives each engine's final obs snapshot
+	// just before the experiment closes its store (engines without a
+	// registry are skipped). Shared by all experiments in a run.
+	Metrics *MetricsCollector
 }
 
 func (rc *RunConfig) applyDefaults() {
@@ -69,6 +80,9 @@ type Result struct {
 	Lat       histogram.Summary
 	Timeline  []TimelinePoint
 	Errors    int64
+
+	// MetricSamples is the per-interval metrics timeline (RunConfig.SampleNS).
+	MetricSamples []MetricSample
 }
 
 // TimelinePoint is one Figure 17 sample.
@@ -141,6 +155,15 @@ func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, 
 		times   []int64 // completion timestamps (timeline)
 	}
 	outs := make([]threadOut, threads)
+	// Metrics are sampled by thread 0 at the round barrier: virtual time
+	// only advances while workload threads run, so a wall-clock ticker
+	// would observe nothing — the sampler rides the clock frontier instead.
+	var sampler *obs.Sampler
+	if rc.SampleNS > 0 {
+		if src, ok := store.(MetricsSource); ok {
+			sampler = obs.NewSampler(src.Metrics, rc.SampleNS)
+		}
+	}
 	// Closed-loop benchmark threads share wall-clock time; keep their
 	// virtual clocks loosely synchronized with a round barrier so that
 	// one thread's backlog is never misread as queueing delay by the
@@ -162,6 +185,9 @@ func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, 
 			for i := 0; i < perThread; i++ {
 				if i%roundOps == 0 {
 					bar.await(clk)
+					if ti == 0 {
+						sampler.Observe(clk.Now())
+					}
 				}
 				op := gen.Next()
 				t0 := clk.Now()
@@ -198,6 +224,18 @@ func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, 
 		res.Ops += o.hist.Count()
 	}
 	res.Lat = all.Summarize()
+	if sampler != nil {
+		// One final sample at the phase's end so the last interval is
+		// never silently truncated.
+		var end int64
+		for _, o := range outs {
+			if o.endNS > end {
+				end = o.endNS
+			}
+		}
+		sampler.Observe(end)
+		res.MetricSamples = flattenSamples(sampler.Samples())
+	}
 	if rc.TimelineBucketNS > 0 {
 		var ts []int64
 		for _, o := range outs {

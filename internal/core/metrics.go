@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// registerMetrics wires every subsystem into the observability registry
+// (see METRICS.md for the full reference). Counters that the subsystems
+// already keep as atomics are re-exported as counter funcs, read only at
+// snapshot time, so the hot paths are untouched; the only new hot-path
+// instrumentation is the op-latency histograms (one Record per public
+// operation) and the TCQ batch-size histogram (one Record per batch).
+//
+// Called from Open before background goroutines start; the registry is
+// immutable afterwards.
+func (s *Store) registerMetrics() {
+	r := s.reg
+
+	// ---- core: operation mix, latency, read-path breakdown ----
+	ops := func(op string, v func() int64) {
+		r.CounterFunc(obs.Desc{Name: "core.ops", Help: "public operations", Unit: "ops",
+			Labels: map[string]string{"op": op}}, v)
+	}
+	ops("put", s.stats.puts.Load)
+	ops("get", s.stats.gets.Load)
+	ops("delete", s.stats.deletes.Load)
+	ops("scan", s.stats.scans.Load)
+	rp := func(src, help string, v func() int64) {
+		r.CounterFunc(obs.Desc{Name: "core.read_path", Help: help, Unit: "reads",
+			Labels: map[string]string{"source": src}}, v)
+	}
+	rp("svc", "value reads served from the DRAM cache", s.stats.svcHits.Load)
+	rp("pwb", "value reads served from an NVM write buffer", s.stats.pwbHits.Load)
+	rp("vs", "value read IOs issued to Value Storage", s.stats.vsReads.Load)
+	r.CounterFunc(obs.Desc{Name: "core.put_stalls", Help: "puts that waited on PWB reclamation", Unit: "ops"},
+		s.stats.putStalls.Load)
+	r.CounterFunc(obs.Desc{Name: "core.user_bytes", Help: "value payload bytes written by the application (WAF denominator)", Unit: "bytes"},
+		s.stats.userBytesWritten.Load)
+	r.GaugeFunc(obs.Desc{Name: "core.keys", Help: "live keys in the store", Unit: "keys"},
+		func() float64 { return float64(s.index.Len()) })
+	lat := func(op string) *obs.Histogram {
+		return r.Histogram(obs.Desc{Name: "core.op_latency", Help: "operation latency in virtual time", Unit: "ns",
+			Labels: map[string]string{"op": op}})
+	}
+	s.latPut, s.latGet, s.latScan = lat("put"), lat("get"), lat("scan")
+
+	// ---- svc: Scan-aware Value Cache (§4.4) ----
+	if s.cache != nil {
+		r.CounterFunc(obs.Desc{Name: "svc.hits", Help: "reads served from the cache", Unit: "reads"},
+			s.stats.svcHits.Load)
+		r.CounterFunc(obs.Desc{Name: "svc.misses", Help: "reads that fell through to NVM or SSD", Unit: "reads"},
+			func() int64 { return s.stats.pwbHits.Load() + s.stats.vsReads.Load() })
+		r.GaugeFunc(obs.Desc{Name: "svc.bytes", Help: "resident key+value+overhead bytes", Unit: "bytes"},
+			func() float64 { return float64(s.cache.Stats().Bytes) })
+		r.GaugeFunc(obs.Desc{Name: "svc.entries", Help: "resident entries", Unit: "entries"},
+			func() float64 { return float64(s.cache.Stats().Entries) })
+		r.CounterFunc(obs.Desc{Name: "svc.promotions", Help: "2Q inactive->active promotions", Unit: "entries"},
+			func() int64 { return s.cache.Stats().Promotions })
+		r.CounterFunc(obs.Desc{Name: "svc.evictions", Help: "entries evicted for capacity", Unit: "entries"},
+			func() int64 { return s.cache.Stats().Evictions })
+		r.CounterFunc(obs.Desc{Name: "svc.chain_rewrites", Help: "scan chains handed to the rewrite hook on eviction", Unit: "chains"},
+			func() int64 { return s.cache.Stats().ChainRewrites })
+		r.CounterFunc(obs.Desc{Name: "svc.scan_rewrites", Help: "sorted scan-range rewrites into Value Storage (§4.4 steps 5-6)", Unit: "rewrites"},
+			s.stats.scanRewrites.Load)
+		r.CounterFunc(obs.Desc{Name: "svc.touch_drops", Help: "advisory touch events dropped under pressure", Unit: "events"},
+			func() int64 { return s.cache.Stats().TouchDrops })
+	}
+
+	// ---- pwb: per-thread Persistent Write Buffers (§4.3) ----
+	r.GaugeFunc(obs.Desc{Name: "pwb.capacity_bytes", Help: "total ring capacity across threads", Unit: "bytes"},
+		func() float64 {
+			var t int64
+			for _, b := range s.pwbs {
+				t += int64(b.Size())
+			}
+			return float64(t)
+		})
+	r.GaugeFunc(obs.Desc{Name: "pwb.used_bytes", Help: "bytes between tail and head across rings", Unit: "bytes"},
+		func() float64 {
+			var t int64
+			for _, b := range s.pwbs {
+				t += int64(b.Used())
+			}
+			return float64(t)
+		})
+	r.GaugeFunc(obs.Desc{Name: "pwb.utilization", Help: "highest ring utilization (reclamation triggers above pwb.watermark)", Unit: "ratio"},
+		func() float64 {
+			var m float64
+			for _, b := range s.pwbs {
+				if u := b.Utilization(); u > m {
+					m = u
+				}
+			}
+			return m
+		})
+	r.GaugeFunc(obs.Desc{Name: "pwb.watermark", Help: "configured reclamation watermark", Unit: "ratio"},
+		func() float64 { return s.opt.ReclaimWatermark })
+	r.CounterFunc(obs.Desc{Name: "pwb.bytes_appended", Help: "value payload bytes appended across rings", Unit: "bytes"},
+		func() int64 {
+			var t int64
+			for _, b := range s.pwbs {
+				t += b.BytesAppended()
+			}
+			return t
+		})
+	r.CounterFunc(obs.Desc{Name: "pwb.reclaims", Help: "background reclamation passes", Unit: "passes"},
+		s.stats.reclaims.Load)
+	r.CounterFunc(obs.Desc{Name: "pwb.live_migrated", Help: "live values migrated from PWB to Value Storage", Unit: "values"},
+		s.stats.pwbLiveMigrated.Load)
+
+	// ---- vs: log-structured Value Storage, per device (§5.1-5.2) ----
+	for i, vs := range s.vsm.Stores {
+		vs := vs
+		lbl := map[string]string{"device": fmt.Sprintf("ssd%d", i)}
+		r.CounterFunc(obs.Desc{Name: "vs.chunks_written", Help: "chunks committed", Unit: "chunks", Labels: lbl},
+			func() int64 { return vs.Stats().ChunksWritten })
+		r.CounterFunc(obs.Desc{Name: "vs.bytes_written", Help: "record bytes shipped to the device (incl. GC)", Unit: "bytes", Labels: lbl},
+			func() int64 { return vs.Stats().BytesWritten })
+		r.CounterFunc(obs.Desc{Name: "vs.gc_runs", Help: "garbage collection passes", Unit: "passes", Labels: lbl},
+			func() int64 { return vs.Stats().GCRuns })
+		r.CounterFunc(obs.Desc{Name: "vs.gc_live_moved", Help: "live values relocated by GC", Unit: "values", Labels: lbl},
+			func() int64 { return vs.Stats().GCLiveMoved })
+		r.CounterFunc(obs.Desc{Name: "vs.gc_bytes_moved", Help: "payload bytes copied by GC", Unit: "bytes", Labels: lbl},
+			func() int64 { return vs.Stats().GCBytesMoved })
+		r.GaugeFunc(obs.Desc{Name: "vs.free_chunks", Help: "free chunks", Unit: "chunks", Labels: lbl},
+			func() float64 { return float64(vs.FreeChunks()) })
+		r.GaugeFunc(obs.Desc{Name: "vs.live_chunks", Help: "live (sealed, non-empty) chunks", Unit: "chunks", Labels: lbl},
+			func() float64 { return float64(vs.Stats().LiveChunks) })
+	}
+
+	// ---- ssd: simulated flash devices ----
+	for i, dev := range s.ssds {
+		dev := dev
+		lbl := map[string]string{"device": fmt.Sprintf("ssd%d", i)}
+		r.CounterFunc(obs.Desc{Name: "ssd.bytes_read", Help: "bytes read from the device", Unit: "bytes", Labels: lbl},
+			func() int64 { return dev.Stats().BytesRead })
+		r.CounterFunc(obs.Desc{Name: "ssd.bytes_written", Help: "durable (acked) bytes written (WAF numerator)", Unit: "bytes", Labels: lbl},
+			func() int64 { return dev.Stats().BytesWritten })
+		r.CounterFunc(obs.Desc{Name: "ssd.read_ios", Help: "read requests serviced", Unit: "ios", Labels: lbl},
+			func() int64 { return dev.Stats().ReadIOs })
+		r.CounterFunc(obs.Desc{Name: "ssd.write_ios", Help: "write requests serviced", Unit: "ios", Labels: lbl},
+			func() int64 { return dev.Stats().WriteIOs })
+		r.GaugeFunc(obs.Desc{Name: "ssd.queue_depth", Help: "staged, unacknowledged writes in flight", Unit: "ios", Labels: lbl},
+			func() float64 { return float64(dev.InFlight()) })
+	}
+	r.GaugeFunc(obs.Desc{Name: "ssd.waf", Help: "SSD-level write amplification: device bytes written / user bytes (Fig 12)", Unit: "ratio"},
+		func() float64 {
+			user := s.stats.userBytesWritten.Load()
+			if user == 0 {
+				return 0
+			}
+			var dev int64
+			for _, d := range s.ssds {
+				dev += d.Stats().BytesWritten
+			}
+			return float64(dev) / float64(user)
+		})
+
+	// ---- nvm: persistent memory device ----
+	r.CounterFunc(obs.Desc{Name: "nvm.loads", Help: "load operations", Unit: "ops"},
+		func() int64 { return s.nvmDev.Stats().Loads })
+	r.CounterFunc(obs.Desc{Name: "nvm.stores", Help: "store operations", Unit: "ops"},
+		func() int64 { return s.nvmDev.Stats().Stores })
+	r.CounterFunc(obs.Desc{Name: "nvm.flushes", Help: "cache-line flushes", Unit: "ops"},
+		func() int64 { return s.nvmDev.Stats().Flushes })
+	r.CounterFunc(obs.Desc{Name: "nvm.fences", Help: "persistence fences", Unit: "ops"},
+		func() int64 { return s.nvmDev.Stats().Fences })
+
+	// ---- tcq / ta: read batching (§5.3) ----
+	if !s.opt.DisableCombining {
+		batchHist := r.Histogram(obs.Desc{Name: "tcq.batch_size", Help: "requests coalesced per submitted batch (Fig 11)", Unit: "requests"})
+		for i, q := range s.queues {
+			q := q
+			q.BatchHist = batchHist
+			lbl := map[string]string{"device": fmt.Sprintf("ssd%d", i)}
+			r.CounterFunc(obs.Desc{Name: "tcq.batches", Help: "batches submitted by combining leaders", Unit: "batches", Labels: lbl},
+				func() int64 { return q.Stats().Batches })
+			r.CounterFunc(obs.Desc{Name: "tcq.combined", Help: "requests submitted across all batches", Unit: "requests", Labels: lbl},
+				func() int64 { return q.Stats().Combined })
+		}
+		r.GaugeFunc(obs.Desc{Name: "tcq.avg_batch", Help: "mean requests per submission across queues", Unit: "requests"},
+			func() float64 {
+				var b, c int64
+				for _, q := range s.queues {
+					st := q.Stats()
+					b, c = b+st.Batches, c+st.Combined
+				}
+				if b == 0 {
+					return 0
+				}
+				return float64(c) / float64(b)
+			})
+	} else {
+		batchHist := r.Histogram(obs.Desc{Name: "ta.batch_size", Help: "requests per timeout-batched submission (Fig 11 baseline)", Unit: "requests"})
+		for i, b := range s.tas {
+			b := b
+			b.BatchHist = batchHist
+			lbl := map[string]string{"device": fmt.Sprintf("ssd%d", i)}
+			r.CounterFunc(obs.Desc{Name: "ta.batches", Help: "timeout-batched submissions", Unit: "batches", Labels: lbl},
+				b.Batches)
+		}
+	}
+
+	// ---- NVM index structures and epochs ----
+	r.GaugeFunc(obs.Desc{Name: "hsit.space_bytes", Help: "NVM bytes of HSIT entries (§7.6 space accounting)", Unit: "bytes"},
+		func() float64 { return float64(s.table.SpaceBytes()) })
+	r.GaugeFunc(obs.Desc{Name: "index.space_bytes", Help: "NVM bytes of the persistent key index (§7.6)", Unit: "bytes"},
+		func() float64 { return float64(s.index.SpaceBytes()) })
+	r.GaugeFunc(obs.Desc{Name: "epoch.global", Help: "current global epoch", Unit: "epochs"},
+		func() float64 { return float64(s.em.Epoch()) })
+	r.GaugeFunc(obs.Desc{Name: "epoch.pending", Help: "retired objects awaiting the two-epoch grace", Unit: "objects"},
+		func() float64 { return float64(s.em.Pending()) })
+}
+
+// MetricsRegistry exposes the store's observability registry (nil when
+// Options.DisableMetrics), e.g. for attaching an obs.Sampler.
+func (s *Store) MetricsRegistry() *obs.Registry { return s.reg }
+
+// Metrics returns a stable, JSON-serializable snapshot of every
+// registered metric. With metrics disabled it returns an empty snapshot.
+// Safe to call concurrently with operations, and after Close.
+func (s *Store) Metrics() obs.Snapshot { return s.reg.Snapshot() }

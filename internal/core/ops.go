@@ -38,6 +38,8 @@ func (t *Thread) Put(key, value []byte) error {
 	}
 	s.stats.puts.Add(1)
 	s.stats.userBytesWritten.Add(int64(len(value)))
+	t0 := t.Clk.Now()
+	defer func() { s.latPut.Record(t.Clk.Now() - t0) }()
 	for attempt := 0; attempt < 1_000_000; attempt++ {
 		err := t.putOnce(key, value)
 		if err != errRetryPut {
@@ -168,6 +170,8 @@ func (t *Thread) Get(key []byte) ([]byte, error) {
 	t.part.Enter()
 	defer t.part.Exit()
 	s.stats.gets.Add(1)
+	t0 := t.Clk.Now()
+	defer func() { s.latGet.Record(t.Clk.Now() - t0) }()
 
 	idx, ok := s.index.Lookup(t.Clk, key)
 	if !ok {
@@ -281,6 +285,8 @@ func (t *Thread) Scan(start []byte, count int, fn func(kv KV) bool) error {
 	t.part.Enter()
 	defer t.part.Exit()
 	s.stats.scans.Add(1)
+	t0 := t.Clk.Now()
+	defer func() { s.latScan.Record(t.Clk.Now() - t0) }()
 
 	var items []*scanItem
 	s.index.Scan(t.Clk, start, count, func(key []byte, idx uint64) bool {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/hsit"
 	"repro/internal/keyindex"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/pwb"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -79,6 +80,11 @@ type Options struct {
 	TimeoutNS        int64 // TA timeout; default 100 us
 	SyncVSWrites     bool  // bypass PWB: write values synchronously to VS
 	DisableScanSort  bool  // no eviction-time scan-range rewrite
+
+	// DisableMetrics turns off the observability registry: Metrics()
+	// returns an empty snapshot and every hot-path metric update becomes
+	// a nil-receiver no-op.
+	DisableMetrics bool
 
 	Seed uint64
 }
@@ -158,6 +164,11 @@ type Store struct {
 	lastRewrite int64 // guarded by svcMu; paces scan-range rewrites
 
 	stats statsCounters
+
+	// Observability (nil when Options.DisableMetrics): the registry and
+	// the owned hot-path histograms of op latency in virtual ns.
+	reg                     *obs.Registry
+	latPut, latGet, latScan *obs.Histogram
 }
 
 type gcReq struct {
@@ -266,6 +277,10 @@ func Open(opt Options) (*Store, error) {
 			buf:  s.pwbs[i],
 			rng:  rng.Split(),
 		})
+	}
+	if !opt.DisableMetrics {
+		s.reg = obs.NewRegistry()
+		s.registerMetrics()
 	}
 	s.bg.Add(1 + opt.NumThreads)
 	for i := 0; i < opt.NumThreads; i++ {

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -33,6 +34,10 @@ func (p *PrismStore) NumThreads() int { return p.S.NumThreads() }
 
 // Close stops the store.
 func (p *PrismStore) Close() error { return p.S.Close() }
+
+// Metrics returns the underlying store's observability snapshot,
+// implementing bench.MetricsSource.
+func (p *PrismStore) Metrics() obs.Snapshot { return p.S.Metrics() }
 
 // WriteAmp reports (SSD bytes written, user bytes written).
 func (p *PrismStore) WriteAmp() (device, user int64) {

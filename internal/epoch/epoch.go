@@ -8,6 +8,13 @@
 // advance guarantees no *new* operation can acquire a reference, the
 // second that every operation which might already hold one has finished —
 // the paper's two-epoch rule.
+//
+// Concurrency contract: Manager methods and Participant.Enter/Exit are
+// safe from any goroutine, but a single Participant must not be shared —
+// each thread registers its own. Retire may be called from inside or
+// outside a critical section; retired functions run on whichever
+// goroutine triggers collection (Collect/Barrier), so they must not
+// block or re-enter the manager.
 package epoch
 
 import (

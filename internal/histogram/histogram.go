@@ -21,6 +21,17 @@ const (
 	firstLinearMax = subBuckets // values < 64 map 1:1
 )
 
+// NumBuckets is the number of log-linear buckets. Exported so concurrent
+// recorders (internal/obs) can reuse this package's bucket layout with
+// their own atomic counts.
+const NumBuckets = totalBuckets
+
+// BucketIndex returns the bucket a sample falls into (0 <= i < NumBuckets).
+func BucketIndex(v int64) int { return bucketOf(v) }
+
+// BucketUpper returns a representative (upper-edge) value for bucket b.
+func BucketUpper(b int) int64 { return valueOf(b) }
+
 // H is a latency histogram over non-negative int64 samples (nanoseconds).
 // The zero value is ready to use.
 type H struct {

@@ -20,6 +20,13 @@
 // line, then clears the bit with a second CAS. A reader that observes the
 // dirty bit flushes the line on the writer's behalf before using the
 // pointer, so an unpersisted pointer is never acted upon.
+//
+// Concurrency contract: every Table method is safe for concurrent use by
+// any number of goroutines; entry words are only ever read and written
+// with 8-byte atomics, and the CAS on the forward pointer is the
+// linearization point of a write. Callers must hold an epoch
+// (epoch.Participant.Enter) across any load-then-use of an entry, since
+// freed entries are recycled only after the two-epoch grace period.
 package hsit
 
 import (

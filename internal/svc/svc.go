@@ -102,11 +102,12 @@ type Cache struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	bytes     atomic.Int64
-	entries   atomic.Int64
-	evictions atomic.Int64
-	rewrites  atomic.Int64
-	touchDrop atomic.Int64
+	bytes      atomic.Int64
+	entries    atomic.Int64
+	evictions  atomic.Int64
+	promotions atomic.Int64
+	rewrites   atomic.Int64
+	touchDrop  atomic.Int64
 
 	// Manager-owned 2Q lists.
 	active, inactive lruList
@@ -268,6 +269,7 @@ type Stats struct {
 	Bytes         int64
 	Entries       int64
 	Evictions     int64
+	Promotions    int64 // 2Q inactive -> active moves
 	ChainRewrites int64
 	TouchDrops    int64
 }
@@ -278,6 +280,7 @@ func (c *Cache) Stats() Stats {
 		Bytes:         c.bytes.Load(),
 		Entries:       c.entries.Load(),
 		Evictions:     c.evictions.Load(),
+		Promotions:    c.promotions.Load(),
 		ChainRewrites: c.rewrites.Load(),
 		TouchDrops:    c.touchDrop.Load(),
 	}
@@ -347,6 +350,7 @@ func (c *Cache) touch(e *Entry) {
 	case 1:
 		c.inactive.remove(e)
 		e.state = 2
+		c.promotions.Add(1)
 		c.active.pushHead(e)
 		c.rebalance()
 	case 2:

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/ssd"
 )
 
@@ -44,6 +45,11 @@ type Queue struct {
 
 	batches  atomic.Int64
 	combined atomic.Int64
+
+	// BatchHist, when set before first use, records the size of every
+	// submitted batch — the Figure 11 batch-size distribution. A nil
+	// histogram is a no-op.
+	BatchHist *obs.Histogram
 }
 
 // New creates a queue over dev with the given coalescing limit
@@ -129,6 +135,7 @@ func (q *Queue) lead(n *node) int64 {
 	// device queue.
 	q.batches.Add(1)
 	q.combined.Add(int64(len(batch)))
+	q.BatchHist.Record(int64(len(batch)))
 	leaderAt := n.at
 	var own int64
 	for _, b := range batch {
@@ -179,6 +186,10 @@ type TimeoutBatcher struct {
 	// flushed at its virtual deadline (default 200us). It only affects
 	// wall-clock progress, never virtual-time results.
 	Grace time.Duration
+
+	// BatchHist, when set before first use, records submitted batch
+	// sizes (nil is a no-op), mirroring Queue.BatchHist.
+	BatchHist *obs.Histogram
 
 	mu      sync.Mutex
 	group   []*node
@@ -254,6 +265,7 @@ func (b *TimeoutBatcher) flushLocked(timedOut bool) {
 	}
 	comps := b.dev.Submit(submitAt, reqs)
 	b.batches.Add(1)
+	b.BatchHist.Record(int64(len(group)))
 	for i, g := range group {
 		g.done <- comps[i].DoneTime
 	}
@@ -261,3 +273,6 @@ func (b *TimeoutBatcher) flushLocked(timedOut bool) {
 
 // Flush forces any pending group out (shutdown/drain).
 func (b *TimeoutBatcher) Flush() { b.flush(true) }
+
+// Batches returns the number of batches submitted so far.
+func (b *TimeoutBatcher) Batches() int64 { return b.batches.Load() }

@@ -89,6 +89,7 @@ func (m *Manager) Stats() Stats {
 		t.BytesWritten += st.BytesWritten
 		t.GCRuns += st.GCRuns
 		t.GCLiveMoved += st.GCLiveMoved
+		t.GCBytesMoved += st.GCBytesMoved
 		t.FreeChunks += st.FreeChunks
 		t.LiveChunks += st.LiveChunks
 	}

@@ -145,7 +145,8 @@ type Stats struct {
 	ChunksWritten int64
 	BytesWritten  int64 // record bytes shipped to the SSD (incl. GC)
 	GCRuns        int64
-	GCLiveMoved   int64
+	GCLiveMoved   int64 // live values relocated by GC
+	GCBytesMoved  int64 // payload bytes of those values
 	FreeChunks    int
 	LiveChunks    int
 }
@@ -166,6 +167,7 @@ type Store struct {
 	bytesWritten  atomic.Int64
 	gcRuns        atomic.Int64
 	gcLiveMoved   atomic.Int64
+	gcBytesMoved  atomic.Int64
 }
 
 // NewStore creates a store covering the whole device with chunkSize-byte
@@ -280,6 +282,7 @@ func (s *Store) Stats() Stats {
 		BytesWritten:  s.bytesWritten.Load(),
 		GCRuns:        s.gcRuns.Load(),
 		GCLiveMoved:   s.gcLiveMoved.Load(),
+		GCBytesMoved:  s.gcBytesMoved.Load(),
 		FreeChunks:    freeN,
 		LiveChunks:    live,
 	}
@@ -507,6 +510,7 @@ func (s *Store) GC(at int64, maxVictims int, relocate func(hsitIdx, oldOff, newO
 		for j, e := range entries {
 			if relocate(e.HSITIdx, batch[j].localOff, e.LocalOff, e.ValueLen) {
 				s.gcLiveMoved.Add(1)
+				s.gcBytesMoved.Add(int64(e.ValueLen))
 				// Clear the old record's bit so live accounting stays
 				// truthful while the victim lingers.
 				s.chunks[int(batch[j].localOff)/s.chunkSize].clearValid(int(batch[j].localOff)%s.chunkSize, RecordSize(e.ValueLen))

@@ -37,7 +37,10 @@
 // control.
 package prism
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
 
 // Options configures a Store; see core.Options for field documentation.
 // The zero value opens a small test-sized store.
@@ -55,6 +58,11 @@ type KV = core.KV
 
 // Stats is a snapshot of store counters.
 type Stats = core.Stats
+
+// Metrics is the store's observability snapshot: every registered metric
+// with a stable name, labels, and value, JSON-serializable and sorted.
+// Obtain one with (*Store).Metrics(); METRICS.md documents every name.
+type Metrics = obs.Snapshot
 
 // RecoveryReport summarizes a post-crash recovery pass.
 type RecoveryReport = core.RecoveryReport
