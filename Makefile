@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci check-docs
+.PHONY: all build vet test race bench bench-smoke fuzz-smoke fmt-check tidy-check ci check-docs
 
 all: build
 
@@ -15,8 +15,25 @@ vet:
 test:
 	$(GO) test ./...
 
+# The race job is a data-race detector, not a performance gate: the
+# three documented seed flakes in internal/core skip themselves under
+# -race, and internal/bench quarantines itself as a package (its
+# concurrent simulation load trips the same documented seed reclamation
+# race, and its Fig 7 smokes exceed the timeout under the detector's
+# ~20x slowdown) — see ROADMAP "Pre-existing -race flakiness".
+# PRISM_RACE_STRICT=1 enforces all of them anyway.
 race:
 	$(GO) test -race ./...
+
+# fmt-check fails (listing the files) if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# tidy-check fails if go.mod/go.sum are not tidy (offline-safe: the
+# module is stdlib-only).
+tidy-check:
+	$(GO) mod tidy -diff
 
 # check-docs fails if METRICS.md names a metric the registry does not
 # export (or vice versa) — see docs_test.go.
@@ -26,6 +43,16 @@ check-docs:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# ci is the full gate: build, vet, race-enabled tests (tier-1 plus the
-# doc-link checker, which is an ordinary test).
-ci: build vet race
+# bench-smoke runs one benchmark one time: benchmark code can never
+# silently rot.
+bench-smoke:
+	$(GO) test -bench=BenchmarkPut -benchtime=1x -run '^$$' .
+
+# fuzz-smoke runs a short fuzz pass over the RESP parser.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/server
+
+# ci is the full gate, mirrored by .github/workflows/ci.yml: build, vet,
+# formatting/tidy hygiene, plain and race-enabled tests, the METRICS.md
+# doc-link checker, and the benchmark smoke run.
+ci: build vet fmt-check tidy-check test race check-docs bench-smoke

@@ -11,8 +11,10 @@ package prism_test
 // -records/-ops; EXPERIMENTS.md records those results.
 
 import (
+	"fmt"
 	"testing"
 
+	prism "repro"
 	"repro/internal/bench"
 	"repro/internal/ycsb"
 )
@@ -20,6 +22,26 @@ import (
 // benchRC is the reduced scale used for testing.B runs.
 func benchRC() bench.RunConfig {
 	return bench.RunConfig{Threads: 4, Records: 4000, Ops: 8000}
+}
+
+// BenchmarkPut is a direct public-API write benchmark, and doubles as
+// the CI smoke run (`make bench-smoke` = -benchtime=1x): it keeps every
+// benchmark compiling and runnable at negligible cost.
+func BenchmarkPut(b *testing.B) {
+	store, err := prism.Open(prism.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	th := store.Thread(0)
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("bench-put-%08d", i%10000))
+		if err := th.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func reportKops(b *testing.B, name string, kops float64) {

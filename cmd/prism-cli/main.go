@@ -2,7 +2,12 @@
 // a quick way to poke at the store, watch its internal statistics, and
 // exercise crash/recovery by hand.
 //
-// Commands:
+// With -connect addr it speaks to a running prism-server over RESP2
+// instead of opening an in-process store; the same put/get/del/scan
+// commands work, any other input is sent as a raw RESP command (so
+// "mget a b", "info", "dbsize" all work too).
+//
+// Commands (local mode):
 //
 //	put <key> <value>      store a value
 //	get <key>              read a value
@@ -17,15 +22,99 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/server/respclient"
 )
 
 func main() {
+	connect := flag.String("connect", "", "RESP server address (host:port); empty = in-process store")
+	flag.Parse()
+
+	if *connect != "" {
+		if err := connectedREPL(*connect); err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	localREPL()
+}
+
+// connectedREPL drives a remote prism-server through the RESP client.
+func connectedREPL(addr string) error {
+	c, err := respclient.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Do("PING"); err != nil {
+		return fmt.Errorf("ping: %w", err)
+	}
+	fmt.Printf("prism-cli — connected to %s; type 'help' for commands\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("prism> ")
+		if !sc.Scan() {
+			return nil
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "help":
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | ping | info | dbsize | quit")
+			fmt.Println("anything else is sent as a raw RESP command (e.g. 'mget a b')")
+			continue
+		case "quit", "exit":
+			c.Do("QUIT")
+			return nil
+		case "put":
+			fields[0] = "SET"
+		case "del":
+			fields[0] = "DEL"
+		}
+		reply, err := c.Do(fields...)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printReply(reply, "")
+	}
+}
+
+// printReply renders a RESP reply the way redis-cli does, nested arrays
+// indented.
+func printReply(r respclient.Reply, indent string) {
+	switch {
+	case r.Nil:
+		fmt.Println(indent + "(nil)")
+	case r.Kind == '+':
+		fmt.Println(indent + r.Str)
+	case r.Kind == ':':
+		fmt.Printf("%s(integer) %d\n", indent, r.Int)
+	case r.Kind == '$':
+		fmt.Printf("%s%q\n", indent, r.Str)
+	case r.Kind == '*':
+		if len(r.Elems) == 0 {
+			fmt.Println(indent + "(empty array)")
+			return
+		}
+		for i, e := range r.Elems {
+			fmt.Printf("%s%d) ", indent, i+1)
+			printReply(e, "")
+		}
+	}
+}
+
+// localREPL is the original in-process mode.
+func localREPL() {
 	store, err := prism.Open(prism.Options{
 		NumThreads:        1,
 		PWBBytesPerThread: 1 << 20,

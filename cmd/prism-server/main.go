@@ -1,0 +1,119 @@
+// Command prism-server serves a Prism store over TCP speaking the RESP2
+// protocol, so stock Redis/Valkey clients (and prism-cli -connect) can
+// drive the engine.
+//
+// Usage:
+//
+//	prism-server                         # listen on :6380, 4 store threads
+//	prism-server -addr 127.0.0.1:7000 -threads 8 -ssds 4
+//	redis-cli -p 6380 SET k v            # any RESP2 client works
+//	prism-cli -connect 127.0.0.1:6380    # the in-repo client
+//
+// Store sizing:
+//
+//	-threads N    store threads = max concurrent command streams (default 4)
+//	-ssds N       simulated flash devices (default 2)
+//	-ssd-bytes N  capacity per device (default 256 MiB)
+//	-pwb-bytes N  persistent write buffer per thread (default 1 MiB)
+//	-svc-bytes N  DRAM value-cache budget (default 16 MiB)
+//	-keys N       HSIT capacity = max live keys (default 1<<20)
+//
+// Server behavior:
+//
+//	-max-conns N      connection limit (default 256)
+//	-idle-timeout D   per-connection idle timeout (default 5m)
+//	-drain-timeout D  graceful-shutdown budget on SIGINT/SIGTERM (default 5s)
+//	-metrics          dump the final obs snapshot as JSON on shutdown
+//
+// On SIGINT/SIGTERM the server drains: in-flight pipelines finish, then
+// connections close and the store shuts down cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":6380", "TCP listen address")
+		threads      = flag.Int("threads", 4, "store threads (concurrent command streams)")
+		ssds         = flag.Int("ssds", 2, "simulated flash devices")
+		ssdBytes     = flag.Int64("ssd-bytes", 256<<20, "capacity per simulated SSD")
+		pwbBytes     = flag.Int("pwb-bytes", 1<<20, "persistent write buffer per thread")
+		svcBytes     = flag.Int64("svc-bytes", 16<<20, "DRAM value-cache budget")
+		keys         = flag.Int("keys", 1<<20, "HSIT capacity (max live keys)")
+		maxConns     = flag.Int("max-conns", 256, "max concurrent client connections")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget")
+		metrics      = flag.Bool("metrics", false, "dump the final metrics snapshot as JSON on shutdown")
+	)
+	flag.Parse()
+
+	store, err := prism.Open(prism.Options{
+		NumThreads:        *threads,
+		PWBBytesPerThread: *pwbBytes,
+		HSITCapacity:      *keys,
+		NumSSDs:           *ssds,
+		SSDBytes:          *ssdBytes,
+		SVCBytes:          *svcBytes,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(store, server.Config{
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+	})
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+
+	// Give Serve a beat to bind so we can print the bound address (it
+	// matters with ":0"); failure surfaces through errCh either way.
+	for i := 0; i < 100 && srv.Addr() == nil; i++ {
+		select {
+		case err := <-errCh:
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if a := srv.Addr(); a != nil {
+		fmt.Printf("prism-server listening on %s (%d store threads, %d SSDs)\n", a, *threads, *ssds)
+	}
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("\n%s: draining (up to %s)...\n", sig, *drainTimeout)
+		if err := srv.Shutdown(*drainTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+		}
+	case err := <-errCh:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			store.Close()
+			os.Exit(1)
+		}
+	}
+
+	if *metrics {
+		fmt.Println(store.Metrics().JSON())
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"os"
 	"regexp"
 	"testing"
+
+	"repro/internal/server"
 )
 
 // metricsDocRow matches the first cell of a METRICS.md table row:
@@ -14,8 +16,9 @@ var metricsDocRow = regexp.MustCompile("(?m)^\\| `([a-z0-9_.]+)`")
 // TestMetricsDocsComplete keeps METRICS.md and the registry in lockstep:
 // every documented metric must be exported by some store configuration,
 // and every exported metric must be documented. The export set is the
-// union of the default configuration and the DisableCombining ablation
-// (which swaps the tcq.* family for ta.*).
+// union of the default configuration, the DisableCombining ablation
+// (which swaps the tcq.* family for ta.*), and a store with a RESP
+// server attached (which contributes the server.* family).
 func TestMetricsDocsComplete(t *testing.T) {
 	doc, err := os.ReadFile("METRICS.md")
 	if err != nil {
@@ -40,6 +43,15 @@ func TestMetricsDocsComplete(t *testing.T) {
 		}
 		st.Close()
 	}
+	st, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.New(st, server.Config{}) // registers server.* without serving
+	for _, n := range st.Metrics().Names() {
+		exported[n] = true
+	}
+	st.Close()
 
 	for n := range documented {
 		if !exported[n] {

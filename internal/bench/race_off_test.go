@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the test binary was built with -race; see
+// raceguard_test.go.
+const raceEnabled = false

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzParse drives the RESP reader with arbitrary bytes. Invariants: no
+// panic, every parsed argument respects the configured bulk bound, and a
+// *ProtocolError is terminal for the stream (matching the server, which
+// closes the connection after one).
+func FuzzParse(f *testing.F) {
+	// Valid commands (array and inline framings).
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("PING\r\nGET key\r\n"))
+	f.Add([]byte("*2\r\n$4\r\nMGET\r\n$0\r\n\r\n"))
+	// Truncated frames.
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n"))
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhel"))
+	f.Add([]byte("*1\r\n$3"))
+	f.Add([]byte("*"))
+	// Hostile lengths.
+	f.Add([]byte("*1\r\n$99999999999999999999\r\n"))
+	f.Add([]byte("*1\r\n$1073741824\r\nx\r\n"))
+	f.Add([]byte("*-1\r\n"))
+	f.Add([]byte("*1\r\n$-1\r\n"))
+	f.Add([]byte("$5\r\nhello\r\n"))
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+
+	const maxArgs, maxBulk = 64, 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := newRespReader(bytes.NewReader(data), maxArgs, maxBulk)
+		for i := 0; i < 1024; i++ {
+			args, err := r.ReadCommand()
+			if err != nil {
+				var pe *ProtocolError
+				if !errors.As(err, &pe) && !errors.Is(err, io.EOF) {
+					t.Fatalf("non-protocol, non-EOF error: %v", err)
+				}
+				return
+			}
+			if len(args) > maxArgs {
+				t.Fatalf("%d args exceeds limit %d", len(args), maxArgs)
+			}
+			for _, a := range args {
+				if len(a) > maxBulk {
+					t.Fatalf("arg of %d bytes exceeds bulk limit %d", len(a), maxBulk)
+				}
+			}
+		}
+	})
+}

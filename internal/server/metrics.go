@@ -1,0 +1,86 @@
+package server
+
+import (
+	"io"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Command verbs with a dedicated server.commands series; anything else
+// lands in {verb=other} so hostile garbage cannot grow the registry.
+var knownVerbs = []string{
+	"PING", "ECHO", "GET", "SET", "DEL", "EXISTS",
+	"MGET", "MSET", "SCAN", "DBSIZE", "INFO", "COMMAND", "QUIT",
+}
+
+// serverMetrics holds the server.* instrumentation (see METRICS.md).
+// Every handle is nil-safe, so a store opened with DisableMetrics costs
+// the server nothing.
+type serverMetrics struct {
+	connsCur   atomic.Int64 // exported via gauge func
+	connsTotal *obs.Counter
+	rejected   *obs.Counter
+	parseErrs  *obs.Counter
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	commands   map[string]*obs.Counter
+	otherCmds  *obs.Counter
+	virtLat    *obs.Histogram
+	wallLat    *obs.Histogram
+}
+
+// registerMetrics wires the server.* family into the store's registry.
+// Registration panics on duplicates, which is why a Store admits at most
+// one Server.
+func (s *Server) registerMetrics(r *obs.Registry) {
+	m := &s.m
+	r.GaugeFunc(obs.Desc{Name: "server.connections", Help: "currently open client connections", Unit: "conns"},
+		func() float64 { return float64(m.connsCur.Load()) })
+	m.connsTotal = r.Counter(obs.Desc{Name: "server.connections_total", Help: "client connections accepted since start", Unit: "conns"})
+	m.rejected = r.Counter(obs.Desc{Name: "server.connections_rejected", Help: "connections refused at the MaxConns limit", Unit: "conns"})
+	m.parseErrs = r.Counter(obs.Desc{Name: "server.parse_errors", Help: "malformed RESP frames (each closes its connection)", Unit: "errors"})
+	m.bytesIn = r.Counter(obs.Desc{Name: "server.bytes_in", Help: "bytes read from clients", Unit: "bytes"})
+	m.bytesOut = r.Counter(obs.Desc{Name: "server.bytes_out", Help: "bytes written to clients", Unit: "bytes"})
+	m.commands = make(map[string]*obs.Counter, len(knownVerbs)+1)
+	for _, v := range knownVerbs {
+		m.commands[v] = r.Counter(obs.Desc{Name: "server.commands", Help: "commands dispatched", Unit: "ops",
+			Labels: map[string]string{"verb": v}})
+	}
+	m.otherCmds = r.Counter(obs.Desc{Name: "server.commands", Help: "commands dispatched", Unit: "ops",
+		Labels: map[string]string{"verb": "other"}})
+	m.virtLat = r.Histogram(obs.Desc{Name: "server.cmd_virtual_ns", Help: "store-command latency in virtual time (engine cost)", Unit: "ns"})
+	m.wallLat = r.Histogram(obs.Desc{Name: "server.cmd_wall_ns", Help: "command latency in wall-clock time (host cost)", Unit: "ns"})
+}
+
+func (s *Server) countCommand(verb string) {
+	if c, ok := s.m.commands[verb]; ok {
+		c.Inc()
+		return
+	}
+	s.m.otherCmds.Inc()
+}
+
+// countingReader / countingWriter meter the raw socket, beneath the
+// protocol buffers, feeding server.bytes_in / server.bytes_out.
+type countingReader struct {
+	r io.Reader
+	n *obs.Counter
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *obs.Counter
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}

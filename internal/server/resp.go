@@ -1,0 +1,238 @@
+// RESP2 wire protocol: command parsing and reply encoding.
+//
+// The reader accepts both framings real clients use: RESP arrays of bulk
+// strings ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n") and inline commands
+// ("GET k\r\n"), interleaved freely on one connection. Replies are the
+// five RESP2 types: simple string, error, integer, bulk string, array.
+//
+// Malformed input is reported as a *ProtocolError; the connection layer
+// replies with "-ERR protocol error: ..." and closes, matching Redis.
+// All frame dimensions are bounded (element count, bulk length, inline
+// line length) so a hostile peer cannot make the server allocate
+// unbounded memory from a tiny frame header.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Parse limits. Conservative versions of Redis's own defaults, sized so
+// a single frame can never demand more memory than a legitimate value.
+const (
+	// DefaultMaxArgs bounds elements per command array.
+	DefaultMaxArgs = 1024
+	// DefaultMaxBulk bounds one bulk-string payload (keys and values).
+	DefaultMaxBulk = 8 << 20
+	// maxInlineLen bounds one inline command line.
+	maxInlineLen = 64 << 10
+)
+
+// ProtocolError is a malformed-frame error. It is connection-fatal: the
+// stream position after a bad frame is unknowable, so the server replies
+// once and closes.
+type ProtocolError struct{ msg string }
+
+func (e *ProtocolError) Error() string { return "protocol error: " + e.msg }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{msg: fmt.Sprintf(format, args...)}
+}
+
+// respReader decodes a stream of client commands.
+type respReader struct {
+	br      *bufio.Reader
+	maxArgs int
+	maxBulk int
+}
+
+func newRespReader(r io.Reader, maxArgs, maxBulk int) *respReader {
+	if maxArgs <= 0 {
+		maxArgs = DefaultMaxArgs
+	}
+	if maxBulk <= 0 {
+		maxBulk = DefaultMaxBulk
+	}
+	return &respReader{br: bufio.NewReader(r), maxArgs: maxArgs, maxBulk: maxBulk}
+}
+
+// buffered reports whether more client bytes are already in memory — the
+// pipelining signal: the connection loop defers its reply flush while
+// another command is already waiting.
+func (r *respReader) buffered() bool { return r.br.Buffered() > 0 }
+
+// readLine reads up to CRLF (tolerating bare LF for inline telnet use)
+// and returns the line without its terminator.
+func (r *respReader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return nil, protoErrf("line exceeds %d bytes", r.br.Size())
+	}
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	line = bytes.TrimSuffix(line, []byte{'\r'})
+	if len(line) > maxInlineLen {
+		return nil, protoErrf("line exceeds %d bytes", maxInlineLen)
+	}
+	return line, nil
+}
+
+// ReadCommand returns the next command as its argument vector. An empty
+// vector with a nil error means "no command" (blank inline line or empty
+// array); callers skip it and read again.
+func (r *respReader) ReadCommand() ([][]byte, error) {
+	c, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if c != '*' {
+		if err := r.br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		return r.readInline()
+	}
+	header, err := r.readLine()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	n, err := parseInt(header)
+	if err != nil {
+		return nil, protoErrf("invalid multibulk length %q", header)
+	}
+	if n < 0 || n > int64(r.maxArgs) {
+		return nil, protoErrf("multibulk length %d out of range [0, %d]", n, r.maxArgs)
+	}
+	args := make([][]byte, 0, n)
+	for i := int64(0); i < n; i++ {
+		arg, err := r.readBulk()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, arg)
+	}
+	return args, nil
+}
+
+// readBulk reads one "$<len>\r\n<bytes>\r\n" element.
+func (r *respReader) readBulk() ([]byte, error) {
+	c, err := r.br.ReadByte()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if c != '$' {
+		return nil, protoErrf("expected bulk string ('$'), got %q", c)
+	}
+	header, err := r.readLine()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	n, err := parseInt(header)
+	if err != nil {
+		return nil, protoErrf("invalid bulk length %q", header)
+	}
+	if n < 0 || n > int64(r.maxBulk) {
+		return nil, protoErrf("bulk length %d out of range [0, %d]", n, r.maxBulk)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, protoErrf("bulk string missing CRLF terminator")
+	}
+	return buf[:n:n], nil
+}
+
+// readInline splits a plain text line into arguments.
+func (r *respReader) readInline() ([][]byte, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	fields := bytes.Fields(line)
+	if len(fields) > r.maxArgs {
+		return nil, protoErrf("inline command has %d arguments (max %d)", len(fields), r.maxArgs)
+	}
+	args := make([][]byte, len(fields))
+	for i, f := range fields {
+		args[i] = append([]byte(nil), f...)
+	}
+	return args, nil
+}
+
+// parseInt is strconv.ParseInt without the string conversion allocating
+// on parse failure paths.
+func parseInt(b []byte) (int64, error) {
+	return strconv.ParseInt(string(b), 10, 64)
+}
+
+// unexpectedEOF converts a mid-frame EOF into an explicit truncated-frame
+// protocol error; genuine IO errors pass through.
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return protoErrf("truncated frame")
+	}
+	return err
+}
+
+// respWriter encodes replies onto a buffered writer. The buffer bound is
+// set by the connection (Config.WriteBufBytes); a full buffer writes
+// through to the socket, so per-connection reply memory stays bounded no
+// matter how deep the client pipelines.
+type respWriter struct {
+	bw *bufio.Writer
+}
+
+func newRespWriter(w io.Writer, bufBytes int) *respWriter {
+	return &respWriter{bw: bufio.NewWriterSize(w, bufBytes)}
+}
+
+func (w *respWriter) flush() error { return w.bw.Flush() }
+
+func (w *respWriter) writeSimple(s string) error {
+	w.bw.WriteByte('+')
+	w.bw.WriteString(s)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+func (w *respWriter) writeError(msg string) error {
+	w.bw.WriteByte('-')
+	w.bw.WriteString(msg)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+func (w *respWriter) writeInt(n int64) error {
+	w.bw.WriteByte(':')
+	w.bw.WriteString(strconv.FormatInt(n, 10))
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+func (w *respWriter) writeBulk(b []byte) error {
+	w.bw.WriteByte('$')
+	w.bw.WriteString(strconv.Itoa(len(b)))
+	w.bw.WriteString("\r\n")
+	w.bw.Write(b)
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+func (w *respWriter) writeNil() error {
+	_, err := w.bw.WriteString("$-1\r\n")
+	return err
+}
+
+func (w *respWriter) writeArrayHeader(n int) error {
+	w.bw.WriteByte('*')
+	w.bw.WriteString(strconv.Itoa(n))
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, input string) ([][][]byte, error) {
+	t.Helper()
+	r := newRespReader(strings.NewReader(input), 0, 0)
+	var cmds [][][]byte
+	for {
+		args, err := r.ReadCommand()
+		if errors.Is(err, io.EOF) {
+			return cmds, nil
+		}
+		if err != nil {
+			return cmds, err
+		}
+		if len(args) > 0 {
+			cmds = append(cmds, args)
+		}
+	}
+}
+
+func TestReadCommandArray(t *testing.T) {
+	cmds, err := readAll(t, "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands, want 1", len(cmds))
+	}
+	want := [][]byte{[]byte("SET"), []byte("k"), []byte("hello")}
+	for i, w := range want {
+		if !bytes.Equal(cmds[0][i], w) {
+			t.Fatalf("arg %d = %q, want %q", i, cmds[0][i], w)
+		}
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	cmds, err := readAll(t, "PING\r\nGET  key1\nSET a b\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 3 {
+		t.Fatalf("got %d commands, want 3", len(cmds))
+	}
+	if string(cmds[1][0]) != "GET" || string(cmds[1][1]) != "key1" {
+		t.Fatalf("inline parse: %q", cmds[1])
+	}
+}
+
+func TestReadCommandPipelined(t *testing.T) {
+	input := "*2\r\n$3\r\nGET\r\n$1\r\na\r\nPING\r\n*1\r\n$6\r\nDBSIZE\r\n"
+	cmds, err := readAll(t, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 3 {
+		t.Fatalf("got %d commands, want 3", len(cmds))
+	}
+}
+
+func TestReadCommandEmptyFramesSkipped(t *testing.T) {
+	cmds, err := readAll(t, "\r\n*0\r\n   \r\nPING\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 || string(cmds[0][0]) != "PING" {
+		t.Fatalf("got %v", cmds)
+	}
+}
+
+func TestReadCommandBinaryValues(t *testing.T) {
+	val := []byte{0, 1, 2, '\r', '\n', 0xff}
+	var buf bytes.Buffer
+	buf.WriteString("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$6\r\n")
+	buf.Write(val)
+	buf.WriteString("\r\n")
+	cmds, err := readAll(t, buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cmds[0][2], val) {
+		t.Fatalf("binary value mangled: %v", cmds[0][2])
+	}
+}
+
+func TestReadCommandProtocolErrors(t *testing.T) {
+	cases := map[string]string{
+		"oversized multibulk": "*99999999\r\n",
+		"negative multibulk":  "*-2\r\n",
+		"bad multibulk len":   "*xyz\r\n",
+		"oversized bulk":      "*1\r\n$99999999999\r\n",
+		"negative bulk":       "*1\r\n$-5\r\n",
+		"bad bulk len":        "*1\r\n$abc\r\n",
+		"missing CRLF":        "*1\r\n$3\r\nabcXY",
+		"wrong element type":  "*1\r\n:5\r\n",
+		"truncated frame":     "*2\r\n$3\r\nGET\r\n",
+	}
+	for name, input := range cases {
+		_, err := readAll(t, input)
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: got %v, want *ProtocolError", name, err)
+		}
+	}
+}
+
+func TestWriterEncodings(t *testing.T) {
+	var buf bytes.Buffer
+	w := newRespWriter(&buf, 256)
+	w.writeSimple("OK")
+	w.writeError("ERR nope")
+	w.writeInt(-7)
+	w.writeBulk([]byte("hi"))
+	w.writeNil()
+	w.writeArrayHeader(2)
+	w.writeBulk(nil)
+	w.writeInt(0)
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-ERR nope\r\n:-7\r\n$2\r\nhi\r\n$-1\r\n*2\r\n$0\r\n\r\n:0\r\n"
+	if buf.String() != want {
+		t.Fatalf("encoded %q, want %q", buf.String(), want)
+	}
+}
+
+// The reader must never allocate a huge buffer just because a frame
+// header promises one: limits apply before allocation.
+func TestReaderBoundsAllocation(t *testing.T) {
+	r := newRespReader(strings.NewReader("*1\r\n$999999999\r\n"), 16, 1<<20)
+	_, err := r.ReadCommand()
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("oversized bulk accepted: %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package respclient is a minimal RESP2 client used by the server's
+// tests and by prism-cli's -connect mode, so the full wire loop — parse,
+// dispatch, epoch enter/exit, reply encode — is exercisable without any
+// external binary. It supports explicit pipelining (Send/Flush/Receive)
+// on top of the one-shot Do.
+//
+// A Client is not safe for concurrent use; open one per goroutine, as
+// you would a Redis connection.
+package respclient
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+)
+
+// maxReply bounds any single bulk payload or array arity accepted from
+// the server, so a corrupt stream cannot demand unbounded memory.
+const maxReply = 64 << 20
+
+// Reply is one decoded RESP2 reply.
+type Reply struct {
+	Kind  byte    // '+' simple, '-' error, ':' integer, '$' bulk, '*' array
+	Str   string  // simple/error text, or bulk payload
+	Int   int64   // integer value
+	Nil   bool    // null bulk ($-1) or null array (*-1)
+	Elems []Reply // array elements
+}
+
+// Err returns the reply as an error when it is a RESP error, else nil.
+func (r Reply) Err() error {
+	if r.Kind == '-' {
+		return errors.New(r.Str)
+	}
+	return nil
+}
+
+// Client is one RESP connection.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a RESP server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send queues one command (encoded as a RESP array of bulk strings)
+// without flushing — the pipelining primitive.
+func (c *Client) Send(args ...string) error {
+	if len(args) == 0 {
+		return errors.New("respclient: empty command")
+	}
+	c.bw.WriteByte('*')
+	c.bw.WriteString(strconv.Itoa(len(args)))
+	c.bw.WriteString("\r\n")
+	for _, a := range args {
+		c.bw.WriteByte('$')
+		c.bw.WriteString(strconv.Itoa(len(a)))
+		c.bw.WriteString("\r\n")
+		c.bw.WriteString(a)
+		if _, err := c.bw.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes all queued commands to the socket.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Receive reads one reply.
+func (c *Client) Receive() (Reply, error) { return c.readReply() }
+
+// Do sends one command and waits for its reply. A RESP error reply is
+// returned as the error (with the zero-value reply intact in r.Kind).
+func (c *Client) Do(args ...string) (Reply, error) {
+	if err := c.Send(args...); err != nil {
+		return Reply{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Reply{}, err
+	}
+	r, err := c.readReply()
+	if err != nil {
+		return Reply{}, err
+	}
+	return r, r.Err()
+}
+
+func (c *Client) readLine() ([]byte, error) {
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	line = bytes.TrimSuffix(line, []byte("\r"))
+	return line, nil
+}
+
+func (c *Client) readReply() (Reply, error) {
+	t, err := c.br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return Reply{}, err
+	}
+	switch t {
+	case '+':
+		return Reply{Kind: '+', Str: string(line)}, nil
+	case '-':
+		return Reply{Kind: '-', Str: string(line)}, nil
+	case ':':
+		n, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil {
+			return Reply{}, fmt.Errorf("respclient: bad integer %q", line)
+		}
+		return Reply{Kind: ':', Int: n}, nil
+	case '$':
+		n, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil || n > maxReply {
+			return Reply{}, fmt.Errorf("respclient: bad bulk length %q", line)
+		}
+		if n < 0 {
+			return Reply{Kind: '$', Nil: true}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(c.br, buf); err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: '$', Str: string(buf[:n])}, nil
+	case '*':
+		n, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil || n > maxReply {
+			return Reply{}, fmt.Errorf("respclient: bad array length %q", line)
+		}
+		if n < 0 {
+			return Reply{Kind: '*', Nil: true}, nil
+		}
+		r := Reply{Kind: '*', Elems: make([]Reply, 0, n)}
+		for i := int64(0); i < n; i++ {
+			e, err := c.readReply()
+			if err != nil {
+				return Reply{}, err
+			}
+			r.Elems = append(r.Elems, e)
+		}
+		return r, nil
+	default:
+		return Reply{}, fmt.Errorf("respclient: unknown reply type %q", t)
+	}
+}

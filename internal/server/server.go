@@ -1,0 +1,475 @@
+// Package server exposes a core.Store over TCP speaking the RESP2
+// protocol, so stock Redis/Valkey clients and workload generators can
+// drive the store (ROADMAP "network server" item).
+//
+// Threading model: Prism's engine hands out per-thread handles
+// (Store.Thread(i)) that are fast but not concurrency-safe. The server
+// pins each accepted connection to one handle round-robin; connections
+// sharing a handle serialize on a per-handle mutex, so N store threads
+// give N-way command parallelism regardless of connection count — the
+// paper's thread model (§4) carried across the wire.
+//
+// Supported commands (RESP arrays or inline, case-insensitive):
+//
+//	PING [msg]            ECHO msg
+//	GET k                 SET k v
+//	DEL k [k ...]         EXISTS k [k ...]
+//	MGET k [k ...]        MSET k v [k v ...]
+//	SCAN start count      range scan (Prism-style: start key + limit,
+//	                      flat key,value,... array — not Redis cursors)
+//	DBSIZE                INFO
+//	COMMAND               QUIT
+//
+// Pipelining: commands are executed in arrival order and replies are
+// buffered (bounded by Config.WriteBufBytes) until the input buffer
+// drains, so a deep pipeline costs one flush, not one per command.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config tunes a Server. The zero value is production-shaped defaults.
+type Config struct {
+	// MaxConns caps concurrently served connections; excess connections
+	// receive "-ERR max connections" and are closed. Default 256.
+	MaxConns int
+	// IdleTimeout bounds the wait for the next command on an idle
+	// connection. Default 5 minutes.
+	IdleTimeout time.Duration
+	// WriteBufBytes bounds per-connection buffered reply bytes before
+	// writing through to the socket. Default 64 KiB.
+	WriteBufBytes int
+	// MaxArgs and MaxBulkBytes bound a single command frame; see
+	// DefaultMaxArgs / DefaultMaxBulk.
+	MaxArgs      int
+	MaxBulkBytes int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxConns == 0 {
+		c.MaxConns = 256
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteBufBytes == 0 {
+		c.WriteBufBytes = 64 << 10
+	}
+	if c.MaxArgs == 0 {
+		c.MaxArgs = DefaultMaxArgs
+	}
+	if c.MaxBulkBytes == 0 {
+		c.MaxBulkBytes = DefaultMaxBulk
+	}
+}
+
+// lockedThread serializes the connections pinned to one store thread.
+type lockedThread struct {
+	mu sync.Mutex
+	th *core.Thread
+}
+
+// Server is a RESP2 front end over one store. Create with New; at most
+// one Server may be attached to a given Store (metric registration is
+// once-only).
+type Server struct {
+	store *core.Store
+	cfg   Config
+
+	threads []*lockedThread
+	next    atomic.Uint64 // round-robin connection->thread assignment
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	started  bool
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	m serverMetrics
+}
+
+// New builds a Server over store and registers its server.* metrics in
+// the store's observability registry (no-op when metrics are disabled).
+func New(store *core.Store, cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		store: store,
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < store.NumThreads(); i++ {
+		s.threads = append(s.threads, &lockedThread{th: store.Thread(i)})
+	}
+	s.registerMetrics(store.MetricsRegistry())
+	return s
+}
+
+// Addr returns the listening address (nil before Serve/ListenAndServe).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until
+// Shutdown. It blocks; run it on its own goroutine.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already serving")
+	}
+	s.started = true
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil // Shutdown closed the listener
+			}
+			return err
+		}
+		if !s.admit(conn) {
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// admit enforces MaxConns and registers the connection for Shutdown.
+func (s *Server) admit(conn net.Conn) bool {
+	s.mu.Lock()
+	if len(s.conns) >= s.cfg.MaxConns || s.draining.Load() {
+		s.mu.Unlock()
+		s.m.rejected.Inc()
+		conn.Write([]byte("-ERR max connections reached\r\n"))
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.m.connsTotal.Inc()
+	s.m.connsCur.Add(1)
+	return true
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.m.connsCur.Add(-1)
+	conn.Close()
+}
+
+// Shutdown drains gracefully: stop accepting, let every connection
+// finish the commands already buffered in its pipeline, then close. If
+// the drain exceeds timeout, remaining connections are force-closed.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if s.draining.Swap(true) {
+		return errors.New("server: already shut down")
+	}
+	// Commands already sent (in a connection's parse buffer or still in
+	// the kernel socket buffer) drain within a grace window; after it,
+	// the absolute deadline fires and every connection closes. An
+	// expired deadline would fail reads of already-received bytes too,
+	// so the grace must be in the future.
+	grace := timeout / 2
+	if grace > time.Second {
+		grace = time.Second
+	}
+	if grace < 10*time.Millisecond {
+		grace = 10 * time.Millisecond
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now().Add(grace))
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return errors.New("server: drain timeout; connections force-closed")
+}
+
+// serveConn runs one connection's read-dispatch-reply loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+
+	slot := s.threads[(s.next.Add(1)-1)%uint64(len(s.threads))]
+	r := newRespReader(&countingReader{r: conn, n: s.m.bytesIn}, s.cfg.MaxArgs, s.cfg.MaxBulkBytes)
+	w := newRespWriter(&countingWriter{w: conn, n: s.m.bytesOut}, s.cfg.WriteBufBytes)
+
+	for {
+		// The deadline is refreshed per command, so it acts as an idle
+		// timeout; Shutdown retracts it to now to begin the drain.
+		if !s.draining.Load() {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		args, err := r.ReadCommand()
+		if err != nil {
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				s.m.parseErrs.Inc()
+				w.writeError("ERR " + pe.Error())
+				w.flush()
+			}
+			return
+		}
+		if len(args) == 0 {
+			continue
+		}
+		quit := s.dispatch(slot, w, args)
+		// Flush only once the pipeline drains: replies to back-to-back
+		// commands share one write.
+		if !r.buffered() {
+			if w.flush() != nil {
+				return
+			}
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command and writes its reply. It returns true
+// when the connection should close (QUIT).
+func (s *Server) dispatch(slot *lockedThread, w *respWriter, args [][]byte) (quit bool) {
+	verb := strings.ToUpper(string(args[0]))
+	s.countCommand(verb)
+	wall0 := time.Now()
+	defer func() {
+		s.m.wallLat.Record(time.Since(wall0).Nanoseconds())
+	}()
+
+	switch verb {
+	case "PING":
+		if len(args) > 1 {
+			w.writeBulk(args[1])
+		} else {
+			w.writeSimple("PONG")
+		}
+	case "ECHO":
+		if len(args) != 2 {
+			w.writeError("ERR wrong number of arguments for 'echo' command")
+			return false
+		}
+		w.writeBulk(args[1])
+	case "QUIT":
+		w.writeSimple("OK")
+		return true
+	case "COMMAND":
+		// Stock clients probe COMMAND on connect; an empty array keeps
+		// them happy without a command table.
+		w.writeArrayHeader(0)
+	case "INFO":
+		w.writeBulk([]byte(s.info()))
+	case "DBSIZE":
+		w.writeInt(int64(s.store.Len()))
+	case "GET", "SET", "DEL", "EXISTS", "MGET", "MSET", "SCAN":
+		s.dispatchStore(slot, w, verb, args)
+	default:
+		w.writeError(fmt.Sprintf("ERR unknown command '%s'", strings.ToLower(verb)))
+	}
+	return false
+}
+
+// dispatchStore runs the store-backed commands under the connection's
+// thread slot, recording virtual-time latency from the thread clock.
+func (s *Server) dispatchStore(slot *lockedThread, w *respWriter, verb string, args [][]byte) {
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	th := slot.th
+	v0 := th.Clk.Now()
+	defer func() {
+		s.m.virtLat.Record(th.Clk.Now() - v0)
+	}()
+
+	switch verb {
+	case "GET":
+		if len(args) != 2 {
+			w.writeError("ERR wrong number of arguments for 'get' command")
+			return
+		}
+		val, err := th.Get(args[1])
+		switch {
+		case err == nil:
+			w.writeBulk(val)
+		case errors.Is(err, core.ErrNotFound):
+			w.writeNil()
+		default:
+			w.writeError("ERR " + err.Error())
+		}
+	case "SET":
+		if len(args) != 3 {
+			w.writeError("ERR wrong number of arguments for 'set' command")
+			return
+		}
+		if err := th.Put(args[1], args[2]); err != nil {
+			w.writeError("ERR " + err.Error())
+			return
+		}
+		w.writeSimple("OK")
+	case "DEL":
+		if len(args) < 2 {
+			w.writeError("ERR wrong number of arguments for 'del' command")
+			return
+		}
+		var n int64
+		for _, k := range args[1:] {
+			err := th.Delete(k)
+			if err == nil {
+				n++
+			} else if !errors.Is(err, core.ErrNotFound) {
+				w.writeError("ERR " + err.Error())
+				return
+			}
+		}
+		w.writeInt(n)
+	case "EXISTS":
+		if len(args) < 2 {
+			w.writeError("ERR wrong number of arguments for 'exists' command")
+			return
+		}
+		var n int64
+		for _, k := range args[1:] {
+			if _, err := th.Get(k); err == nil {
+				n++
+			} else if !errors.Is(err, core.ErrNotFound) {
+				w.writeError("ERR " + err.Error())
+				return
+			}
+		}
+		w.writeInt(n)
+	case "MGET":
+		if len(args) < 2 {
+			w.writeError("ERR wrong number of arguments for 'mget' command")
+			return
+		}
+		w.writeArrayHeader(len(args) - 1)
+		for _, k := range args[1:] {
+			val, err := th.Get(k)
+			if err == nil {
+				w.writeBulk(val)
+			} else {
+				w.writeNil()
+			}
+		}
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			w.writeError("ERR wrong number of arguments for 'mset' command")
+			return
+		}
+		for i := 1; i < len(args); i += 2 {
+			if err := th.Put(args[i], args[i+1]); err != nil {
+				w.writeError("ERR " + err.Error())
+				return
+			}
+		}
+		w.writeSimple("OK")
+	case "SCAN":
+		if len(args) != 3 {
+			w.writeError("ERR usage: SCAN <start-key> <count>")
+			return
+		}
+		count, err := strconv.Atoi(string(args[2]))
+		if err != nil || count < 0 {
+			w.writeError("ERR count must be a non-negative integer")
+			return
+		}
+		var kvs []core.KV
+		scanErr := th.Scan(args[1], count, func(kv core.KV) bool {
+			kvs = append(kvs, kv)
+			return true
+		})
+		if scanErr != nil {
+			w.writeError("ERR " + scanErr.Error())
+			return
+		}
+		w.writeArrayHeader(2 * len(kvs))
+		for _, kv := range kvs {
+			w.writeBulk(kv.Key)
+			w.writeBulk(kv.Value)
+		}
+	}
+}
+
+// info renders the INFO reply: redis-style "name:value" lines backed by
+// the store's observability snapshot, so everything in METRICS.md —
+// including the server.* family — is visible over the wire.
+func (s *Server) info() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# server\r\n")
+	fmt.Fprintf(&b, "proto:RESP2\r\n")
+	fmt.Fprintf(&b, "store_threads:%d\r\n", len(s.threads))
+	fmt.Fprintf(&b, "connected_clients:%d\r\n", s.m.connsCur.Load())
+	fmt.Fprintf(&b, "draining:%v\r\n", s.draining.Load())
+	fmt.Fprintf(&b, "# keyspace\r\n")
+	fmt.Fprintf(&b, "keys:%d\r\n", s.store.Len())
+	fmt.Fprintf(&b, "# metrics\r\n")
+	for _, m := range s.store.Metrics().Metrics {
+		id := m.Name
+		if len(m.Labels) > 0 {
+			var parts []string
+			for k, v := range m.Labels {
+				parts = append(parts, k+"="+v)
+			}
+			sort.Strings(parts)
+			id += "{" + strings.Join(parts, ",") + "}"
+		}
+		if m.Hist != nil {
+			fmt.Fprintf(&b, "%s:count=%d,mean=%.1f,p50=%d,p99=%d,max=%d\r\n",
+				id, m.Hist.Count, m.Hist.Mean, m.Hist.P50, m.Hist.P99, m.Hist.Max)
+			continue
+		}
+		if m.Value == float64(int64(m.Value)) {
+			fmt.Fprintf(&b, "%s:%d\r\n", id, int64(m.Value))
+		} else {
+			fmt.Fprintf(&b, "%s:%.4f\r\n", id, m.Value)
+		}
+	}
+	return b.String()
+}
