@@ -35,10 +35,29 @@ func (s *Store) reclaimLoop(i int) {
 // forward pointer still refers back to them, write them chunk by chunk to
 // an idle Value Storage, republish their pointers, and release the ring
 // space after epoch grace.
+//
+// Release protocol: each buffer has exactly one scan owner (this
+// function, reached either from the buffer's reclaimLoop goroutine or —
+// under SyncVSWrites — from the owning application thread, never both).
+// Epoch grace turns a completed pass into a Grant; the owner folds
+// pending grants into the tail only here, between passes. The tail is
+// therefore frozen while a scan is in flight, which closes two seed
+// races: a foreground append can never recycle (and physically alias)
+// bytes the scan is still reading, and PublishIf can never install a
+// pointer that a newer append at the same wrapped DevOff now owns.
 func (s *Store) reclaimBuffer(threadID int, clk *sim.Clock, rng *sim.RNG) {
 	b := s.pwbs[threadID]
+	b.ApplyGrants()
 	head, tail := b.Head(), b.Tail()
-	if head == tail {
+	// Exclude the owner's append-to-publish window: a record whose HSIT
+	// forward pointer has not landed yet looks ill-coupled, and treating
+	// it as garbage would release a slot that the imminent publish will
+	// reference forever. (Head must be read before the floor — see
+	// pwb.UnpublishedFloor.)
+	if f := b.UnpublishedFloor(); f < head {
+		head = f
+	}
+	if head <= tail {
 		return
 	}
 	s.stats.reclaims.Add(1)
@@ -52,7 +71,7 @@ func (s *Store) reclaimBuffer(threadID int, clk *sim.Clock, rng *sim.RNG) {
 	// The ring scan is one large sequential NVM read: charge it in bulk
 	// (per-record latency would overstate a streaming read by ~300x).
 	s.nvmDev.ChargeRead(clk, int(head-tail))
-	b.Scan(nil, tail, head, func(r pwb.Record) bool {
+	err := b.Scan(nil, tail, head, func(r pwb.Record) bool {
 		p := s.table.Load(clk, r.HSITIdx)
 		// Well-coupled check (§5.2): forward and backward pointers refer
 		// to each other. Ill-coupled records are superseded garbage and
@@ -63,6 +82,14 @@ func (s *Store) reclaimBuffer(threadID int, clk *sim.Clock, rng *sim.RNG) {
 		}
 		return true
 	})
+	if err != nil {
+		// A header failed to parse. With the frozen-tail protocol this
+		// should be unreachable; if it ever fires, abort the pass without
+		// migrating or releasing anything — the range is intact on NVM
+		// and a later pass simply re-scans it.
+		s.stats.scanTornRecords.Add(1)
+		return
+	}
 
 	i := 0
 	for i < len(live) {
@@ -94,14 +121,16 @@ func (s *Store) reclaimBuffer(threadID int, clk *sim.Clock, rng *sim.RNG) {
 				s.stats.pwbLiveMigrated.Add(1)
 			} else {
 				// A foreground write superseded this value mid-flight.
+				s.stats.reclaimPublishLost.Add(1)
 				st.Invalidate(e.LocalOff, e.ValueLen)
 			}
 		}
 		s.maybeKickGC(devIdx, st, clk.Now())
 	}
 	// Every live value has been migrated; the whole scanned range is
-	// garbage. Recycle it once no reader can still be inside (§5.4).
-	s.em.Retire(func() { b.ReleaseTo(head) })
+	// garbage. After epoch grace (no reader can still be inside, §5.4)
+	// the space becomes a grant, which the next pass folds into the tail.
+	s.em.Retire(func() { b.Grant(head) })
 	for {
 		cur := s.reclaimStall[threadID].Load()
 		if clk.Now() <= cur || s.reclaimStall[threadID].CompareAndSwap(cur, clk.Now()) {

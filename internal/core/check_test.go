@@ -19,7 +19,6 @@ func settle(s *Store) {
 }
 
 func TestCheckerCleanStore(t *testing.T) {
-	skipIfKnownRaceFlake(t)
 	s := small(t, nil)
 	th := s.Thread(0)
 	const n = 2500 // spans PWB and Value Storage residency

@@ -107,7 +107,6 @@ func TestReinsertAfterDelete(t *testing.T) {
 // Writing more than the PWB holds forces reclamation to Value Storage;
 // every value must remain readable throughout and afterwards.
 func TestReclamationPreservesValues(t *testing.T) {
-	skipIfKnownRaceFlake(t)
 	s := small(t, nil)
 	th := s.Thread(0)
 	const n = 2000 // * ~50B values >> 64KB PWB

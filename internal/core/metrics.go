@@ -109,6 +109,10 @@ func (s *Store) registerMetrics() {
 		s.stats.reclaims.Load)
 	r.CounterFunc(obs.Desc{Name: "pwb.live_migrated", Help: "live values migrated from PWB to Value Storage", Unit: "values"},
 		s.stats.pwbLiveMigrated.Load)
+	r.CounterFunc(obs.Desc{Name: "core.reclaim_publish_lost", Help: "migrated values whose PublishIf lost to a concurrent foreground write (VS copy invalidated)", Unit: "values"},
+		s.stats.reclaimPublishLost.Load)
+	r.CounterFunc(obs.Desc{Name: "pwb.scan_torn_record", Help: "reclamation passes aborted on an unparseable ring record (should stay 0 under the frozen-tail protocol)", Unit: "passes"},
+		s.stats.scanTornRecords.Load)
 
 	// ---- vs: log-structured Value Storage, per device (§5.1-5.2) ----
 	for i, vs := range s.vsm.Stores {

@@ -55,6 +55,12 @@ func TestMetricsMatchStats(t *testing.T) {
 	}
 	defer st.Close()
 	runMixedWorkload(t, st)
+	// Quiesce the SVC manager goroutine: admissions and evictions are
+	// processed asynchronously, and comparing two point-in-time readings
+	// while it still drains its queue would race the counters.
+	if st.cache != nil {
+		st.cache.Sync()
+	}
 
 	snap := st.Metrics()
 	stats := st.Stats()

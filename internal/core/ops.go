@@ -113,6 +113,10 @@ func (t *Thread) writeAndPublish(idx uint64, value []byte) error {
 		return err
 	}
 	old := s.table.Publish(t.Clk, idx, hsit.Pointer{Media: hsit.PWB, Len: len(value), Off: off})
+	// Lift the publish-pending mark set by Append: the reclaimer may now
+	// include this record in its scan, and is guaranteed to observe the
+	// pointer just published (so it classifies the record as live).
+	t.buf.Published()
 	t.invalidateOld(idx, old)
 	if s.opt.SyncVSWrites && t.buf.Used() >= s.opt.ChunkSize {
 		// Ablation: no asynchronous bandwidth-optimized write — the
@@ -222,7 +226,7 @@ func (t *Thread) resolve(idx uint64, key []byte, admit bool) (val []byte, err er
 			return nil, nil, true // chunk recycled under us
 		}
 		if admit {
-			t.admitToSVC(idx, key, v)
+			t.admitToSVC(idx, p, key, v)
 		}
 		return cloneBytes(v), nil, false
 	}
@@ -230,19 +234,33 @@ func (t *Thread) resolve(idx uint64, key []byte, admit bool) (val []byte, err er
 }
 
 // admitToSVC publishes a freshly read value in the cache (§4.4: admission
-// only on Value Storage reads, lock-free HSIT publication).
-func (t *Thread) admitToSVC(idx uint64, key, value []byte) (handle uint64, admitted bool) {
+// only on Value Storage reads, lock-free HSIT publication). p is the
+// forward pointer under which value was read; admission is aborted if the
+// entry has moved on since.
+func (t *Thread) admitToSVC(idx uint64, p hsit.Pointer, key, value []byte) (handle uint64, admitted bool) {
 	s := t.s
 	if s.cache == nil {
 		return 0, false
 	}
 	e := s.cache.Admit(idx, key, value)
-	if s.table.CasSVC(t.Clk, idx, 0, e.Handle()) {
-		s.cache.Published(e)
-		return e.Handle(), true
+	if !s.table.CasSVC(t.Clk, idx, 0, e.Handle()) {
+		s.cache.AbortAdmit(e)
+		return 0, false
 	}
-	s.cache.AbortAdmit(e)
-	return 0, false
+	s.cache.Published(e)
+	// Admission TOCTOU guard: a writer that superseded the value after
+	// our read may have run its invalidateOld before the CAS above, seen
+	// word1 == 0, and concluded there was nothing to unpublish — which
+	// would leave these stale bytes cached forever. Re-checking the
+	// forward pointer after publishing closes the window: whichever side
+	// acts second is guaranteed to see the other's update.
+	if s.table.Load(nil, idx) != p {
+		if s.table.CasSVC(t.Clk, idx, e.Handle(), 0) {
+			s.cache.Invalidate(idx, e.Handle())
+		}
+		return 0, false
+	}
+	return e.Handle(), true
 }
 
 // Delete removes key. The HSIT entry is reclaimed after two epochs
@@ -423,8 +441,11 @@ func (t *Thread) readVSBatch(pending []*scanItem) {
 			rec := buf[m.off-e.start:]
 			backptr, v, ok := valuestore.DecodeRecord(rec)
 			if !ok || backptr != m.it.idx || len(v) != m.it.p.Len {
-				// Moved mid-scan: fall back to an individual resolve.
+				// Moved mid-scan: fall back to an individual resolve. The
+				// batched pointer is stale now, so the item is also
+				// excluded from SVC admission below.
 				m.it.val, _, _ = t.getOnce(m.it.idx, m.it.key)
+				m.it.p = hsit.Pointer{}
 				continue
 			}
 			m.it.val = cloneBytes(v)
@@ -437,10 +458,10 @@ func (t *Thread) readVSBatch(pending []*scanItem) {
 	if s.cache != nil {
 		var handles []uint64
 		for _, it := range pending {
-			if it.val == nil {
+			if it.val == nil || it.p.IsNil() {
 				continue
 			}
-			if h, ok := t.admitToSVC(it.idx, it.key, it.val); ok {
+			if h, ok := t.admitToSVC(it.idx, it.p, it.key, it.val); ok {
 				handles = append(handles, h)
 			}
 		}

@@ -10,7 +10,6 @@ import (
 )
 
 func TestCrashRecoveryPreservesAllData(t *testing.T) {
-	skipIfKnownRaceFlake(t)
 	s := small(t, nil)
 	th := s.Thread(0)
 	const n = 3000 // forces a mix of PWB-resident and VS-resident values

@@ -183,6 +183,8 @@ type statsCounters struct {
 	reclaims, pwbLiveMigrated     atomic.Int64
 	scanRewrites, recoveredValues atomic.Int64
 	putStalls                     atomic.Int64
+	reclaimPublishLost            atomic.Int64
+	scanTornRecords               atomic.Int64
 }
 
 // Thread is one application thread's handle: it owns a virtual clock, an
@@ -350,6 +352,8 @@ type Stats struct {
 	Reclaims, PWBLiveMigrated  int64
 	ScanRewrites               int64
 	PutStalls                  int64
+	ReclaimPublishLost         int64
+	ScanTornRecords            int64
 	IndexSpaceBytes            int64
 	HSITSpaceBytes             int64
 	VS                         valuestore.Stats
@@ -359,21 +363,23 @@ type Stats struct {
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Puts:             s.stats.puts.Load(),
-		Gets:             s.stats.gets.Load(),
-		Deletes:          s.stats.deletes.Load(),
-		Scans:            s.stats.scans.Load(),
-		SVCHits:          s.stats.svcHits.Load(),
-		PWBHits:          s.stats.pwbHits.Load(),
-		VSReads:          s.stats.vsReads.Load(),
-		UserBytesWritten: s.stats.userBytesWritten.Load(),
-		Reclaims:         s.stats.reclaims.Load(),
-		PWBLiveMigrated:  s.stats.pwbLiveMigrated.Load(),
-		ScanRewrites:     s.stats.scanRewrites.Load(),
-		PutStalls:        s.stats.putStalls.Load(),
-		IndexSpaceBytes:  s.index.SpaceBytes(),
-		HSITSpaceBytes:   s.table.SpaceBytes(),
-		VS:               s.vsm.Stats(),
+		Puts:               s.stats.puts.Load(),
+		Gets:               s.stats.gets.Load(),
+		Deletes:            s.stats.deletes.Load(),
+		Scans:              s.stats.scans.Load(),
+		SVCHits:            s.stats.svcHits.Load(),
+		PWBHits:            s.stats.pwbHits.Load(),
+		VSReads:            s.stats.vsReads.Load(),
+		UserBytesWritten:   s.stats.userBytesWritten.Load(),
+		Reclaims:           s.stats.reclaims.Load(),
+		PWBLiveMigrated:    s.stats.pwbLiveMigrated.Load(),
+		ScanRewrites:       s.stats.scanRewrites.Load(),
+		PutStalls:          s.stats.putStalls.Load(),
+		ReclaimPublishLost: s.stats.reclaimPublishLost.Load(),
+		ScanTornRecords:    s.stats.scanTornRecords.Load(),
+		IndexSpaceBytes:    s.index.SpaceBytes(),
+		HSITSpaceBytes:     s.table.SpaceBytes(),
+		VS:                 s.vsm.Stats(),
 	}
 	if s.cache != nil {
 		st.SVC = s.cache.Stats()

@@ -15,8 +15,12 @@
 //
 // The ring is single-writer (its owning thread appends) and multi-reader
 // (Get paths and the background reclaimer read records). Space is
-// released strictly in order via ReleaseTo, which the engine calls only
-// after epoch-based grace so no reader can observe recycled bytes.
+// released strictly in order, and only between reclaim passes: epoch
+// grace turns a pass's scanned range into a Grant, and the single scan
+// owner applies pending grants via ApplyGrants before it snapshots the
+// next scan range. The tail therefore never moves while a scan is in
+// flight, so the physical bytes under a scan can never be recycled and
+// re-appended (the aliasing that caused the seed's reclamation race).
 package pwb
 
 import (
@@ -51,8 +55,26 @@ type Buffer struct {
 	head atomic.Uint64 // logical append cursor (monotonic)
 	tail atomic.Uint64 // logical release cursor (monotonic)
 
-	bytesAppended atomic.Int64 // user payload bytes (WAF accounting)
+	// releasable is the highest logical cursor whose space has been
+	// granted back by epoch grace (Grant). Only the single scan owner
+	// folds it into tail (ApplyGrants), so the tail is frozen for the
+	// whole duration of any scan pass.
+	releasable atomic.Uint64
+
+	// unpublished is the logical cursor of the owner's in-flight append
+	// whose HSIT forward pointer has not been published yet, or noPending.
+	// The reclaimer clamps its scan below it: a record in this window
+	// looks ill-coupled (its publish hasn't landed), and classifying it
+	// as garbage would release a slot that a live pointer is about to
+	// reference forever.
+	unpublished atomic.Uint64
+
+	bytesAppended atomic.Int64 // user payload bytes (WAF accounting; survives Reset)
 }
+
+// noPending is the unpublished-floor sentinel meaning "no append is
+// awaiting its HSIT publish".
+const noPending = ^uint64(0)
 
 // NewBuffer creates a buffer over [base, base+size) of dev. base and size
 // must be 16-byte aligned, size >= 64.
@@ -66,7 +88,9 @@ func NewBuffer(dev *nvm.Device, base, size int) *Buffer {
 	if base+size > dev.Size() {
 		panic("pwb: region exceeds device")
 	}
-	return &Buffer{dev: dev, base: base, size: uint64(size)}
+	b := &Buffer{dev: dev, base: base, size: uint64(size)}
+	b.unpublished.Store(noPending)
+	return b
 }
 
 // recSize returns the aligned on-NVM footprint of a value record.
@@ -101,6 +125,12 @@ func (b *Buffer) GlobalOff(logical uint64) uint64 { return uint64(b.pos(logical)
 // its logical cursor. The record is flushed and fenced before return, so
 // the caller may immediately publish it (§5.4: persist value before
 // pointer). Only the owning thread may call Append.
+//
+// The record is born with its HSIT publish pending: the caller MUST call
+// Published after installing the forward pointer (or after deciding not
+// to). Until then the reclaimer's scan bound (UnpublishedFloor) excludes
+// the record, so a pass that would otherwise see it as ill-coupled
+// cannot release its space out from under the soon-to-land pointer.
 func (b *Buffer) Append(clk nvm.Clock, hsitIdx uint64, value []byte) (devOff uint64, logical uint64, err error) {
 	need := recSize(len(value))
 	if need > b.size {
@@ -127,10 +157,29 @@ func (b *Buffer) Append(clk nvm.Clock, hsitIdx uint64, value []byte) (devOff uin
 	b.dev.Store(clk, off+headerSize, value)
 	b.dev.Persist(clk, off, headerSize+len(value))
 
+	// Publish-pending mark BEFORE the head advance: a reclaimer that
+	// observes the new head is guaranteed to also observe the mark (or
+	// the completed publish that clears it).
+	b.unpublished.Store(head)
 	b.head.Store(head + need)
 	b.bytesAppended.Add(int64(len(value)))
 	return uint64(off), head, nil
 }
+
+// Published clears the publish-pending mark set by Append. Only the
+// owning thread may call it, after the record's HSIT forward pointer is
+// installed (the reclaimer observing the cleared mark is thereby
+// guaranteed to observe the published pointer too).
+func (b *Buffer) Published() {
+	b.unpublished.Store(noPending)
+}
+
+// UnpublishedFloor returns the logical cursor of the owner's append
+// whose HSIT publish is still pending, or ^uint64(0) when there is none.
+// The reclaimer caps its scan at min(Head, UnpublishedFloor): reading
+// Head first and the floor second guarantees every append below the cap
+// has a visible forward pointer.
+func (b *Buffer) UnpublishedFloor() uint64 { return b.unpublished.Load() }
 
 func (b *Buffer) writePad(clk nvm.Clock, head, n uint64) {
 	off := b.pos(head)
@@ -144,9 +193,16 @@ func (b *Buffer) writePad(clk nvm.Clock, head, n uint64) {
 }
 
 // ReadValue reads the value payload of the record at devOff (from an HSIT
-// forward pointer) into a new slice. valueLen comes from the pointer. The
-// caller must hold an epoch guard so the bytes cannot be recycled
-// mid-read; it should re-validate the HSIT pointer afterwards.
+// forward pointer) into a new slice. valueLen comes from the pointer.
+//
+// Contract: the caller must hold an epoch guard (epoch.Participant.Enter)
+// across the pointer load and this read — released ring space is recycled
+// only after two-epoch grace, so the guard keeps the bytes from being
+// re-appended mid-read. Because the pointer may still be superseded
+// concurrently, the caller must re-validate the HSIT pointer after the
+// read and retry on mismatch; ReadValue itself does not parse or verify
+// the record header. A nil clk performs the read without charging device
+// time (offline checkers and tests).
 func (b *Buffer) ReadValue(clk nvm.Clock, devOff uint64, valueLen int) []byte {
 	buf := make([]byte, valueLen)
 	b.dev.Load(clk, int(devOff)+headerSize, buf)
@@ -173,11 +229,26 @@ type Record struct {
 	Value   []byte
 }
 
+// ErrCorruptRecord is returned by Scan when a header fails to parse; it
+// wraps the logical cursor and bad magic. A torn or recycled header must
+// surface as an error the caller can abort on, not a process abort.
+var ErrCorruptRecord = errors.New("pwb: corrupt record")
+
 // Scan parses records in logical range [from, to), calling fn for each
 // value record (padding is skipped). It is used by the background
 // reclaimer (§5.2) to collect candidate values; the caller decides
 // liveness via HSIT well-coupledness.
-func (b *Buffer) Scan(clk nvm.Clock, from, to uint64, fn func(r Record) bool) {
+//
+// Contract: [from, to) must be a range whose bytes are stable for the
+// duration of the call — from at or above the ring tail (which only the
+// single scan owner may advance, via ApplyGrants between passes) and to
+// at or below min(Head, UnpublishedFloor). A nil clk performs the reads
+// without charging device time; the reclaimer charges the whole range as
+// one bulk sequential read instead. If a header fails to parse, Scan
+// stops and returns an error wrapping ErrCorruptRecord — the caller
+// should abort the pass without releasing any space, so the torn range
+// is simply re-scanned later.
+func (b *Buffer) Scan(clk nvm.Clock, from, to uint64, fn func(r Record) bool) error {
 	cur := from
 	var hdr [headerSize]byte
 	for cur < to {
@@ -194,18 +265,20 @@ func (b *Buffer) Scan(clk nvm.Clock, from, to uint64, fn func(r Record) bool) {
 			val := make([]byte, vlen)
 			b.dev.Load(clk, off+headerSize, val)
 			if !fn(Record{HSITIdx: backptr, DevOff: uint64(off), Logical: cur, Value: val}) {
-				return
+				return nil
 			}
 			cur += recSize(int(vlen))
 		default:
-			panic(fmt.Sprintf("pwb: corrupt record at logical %d (magic %#x)", cur, mg))
+			return fmt.Errorf("%w at logical %d (magic %#x)", ErrCorruptRecord, cur, mg)
 		}
 	}
+	return nil
 }
 
 // ReleaseTo advances the tail to newTail, recycling everything before it.
-// The engine calls this only after two epochs have passed since the
-// records were migrated, so no concurrent reader still references them.
+// Quiescent callers (recovery, tests) may call it directly; during normal
+// operation space is released only through Grant + ApplyGrants so the
+// tail never moves while a scan pass is in flight.
 func (b *Buffer) ReleaseTo(newTail uint64) {
 	for {
 		t := b.tail.Load()
@@ -218,14 +291,50 @@ func (b *Buffer) ReleaseTo(newTail uint64) {
 	}
 }
 
+// Grant records that the ring space below newTail has passed epoch grace
+// and may be recycled. It does NOT move the tail: the grant takes effect
+// only when the single scan owner calls ApplyGrants between passes. Safe
+// to call from any goroutine (epoch-retire callbacks run wherever
+// Collect happens to be called).
+func (b *Buffer) Grant(newTail uint64) {
+	for {
+		g := b.releasable.Load()
+		if newTail <= g {
+			return
+		}
+		if b.releasable.CompareAndSwap(g, newTail) {
+			return
+		}
+	}
+}
+
+// ApplyGrants folds all pending grants into the tail, making the space
+// appendable. Only the single scan owner (the buffer's reclaimer) may
+// call it, and only between scan passes: freezing the tail for the whole
+// duration of a pass is what keeps the scanned bytes stable and the
+// physical DevOff coupling check free of ring-wrap aliasing.
+func (b *Buffer) ApplyGrants() {
+	if g := b.releasable.Load(); g > b.tail.Load() {
+		b.ReleaseTo(g)
+	}
+}
+
 // BytesAppended returns cumulative user payload bytes (write-traffic
-// accounting for the WAF experiments).
+// accounting for the WAF experiments). The counter intentionally
+// survives Reset: recovery re-initializes the ring cursors, but the
+// device write traffic already issued does not un-happen, so WAF
+// accounting keeps accumulating across crash/recover cycles.
 func (b *Buffer) BytesAppended() int64 { return b.bytesAppended.Load() }
 
 // Reset empties the ring. Recovery drains every live PWB value into
 // Value Storage and then resets the cursors, because the volatile
-// head/tail are unknown after a crash (§5.5). Quiescent callers only.
+// head/tail are unknown after a crash (§5.5). Pending grants and the
+// publish-pending mark are volatile state of the old incarnation and are
+// discarded; bytesAppended survives (see BytesAppended). Quiescent
+// callers only.
 func (b *Buffer) Reset() {
 	b.head.Store(0)
 	b.tail.Store(0)
+	b.releasable.Store(0)
+	b.unpublished.Store(noPending)
 }

@@ -2,6 +2,7 @@ package pwb
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -116,10 +117,12 @@ func TestWraparoundPadding(t *testing.T) {
 	}
 	// Scan must skip the pad and see all three records.
 	var seen []uint64
-	b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
+	if err := b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
 		seen = append(seen, r.HSITIdx)
 		return true
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
 		t.Fatalf("scan after wrap = %v", seen)
 	}
@@ -134,7 +137,7 @@ func TestScanYieldsValuesAndOffsets(t *testing.T) {
 		want[uint64(i)] = v
 	}
 	n := 0
-	b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
+	if err := b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
 		if want[r.HSITIdx] != string(r.Value) {
 			t.Fatalf("record %d = %q", r.HSITIdx, r.Value)
 		}
@@ -144,7 +147,9 @@ func TestScanYieldsValuesAndOffsets(t *testing.T) {
 		}
 		n++
 		return true
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if n != 10 {
 		t.Fatalf("scanned %d records", n)
 	}
@@ -156,10 +161,12 @@ func TestScanEarlyStop(t *testing.T) {
 		b.Append(nil, uint64(i), []byte("x"))
 	}
 	n := 0
-	b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
+	if err := b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
 		n++
 		return n < 3
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if n != 3 {
 		t.Fatalf("early stop scanned %d", n)
 	}
@@ -179,6 +186,106 @@ func TestReleaseToNeverRegresses(t *testing.T) {
 	b.ReleaseTo(16) // stale release must not move tail backwards
 	if b.Tail() != 32 {
 		t.Fatalf("tail = %d", b.Tail())
+	}
+}
+
+// TestPWBWrapABA pins the ring-wrap aliasing that enabled the seed's
+// reclamation race: with a ring sized to wrap within a few appends, the
+// physical offset (GlobalOff / Append's devOff) of logical cursor L is
+// identical to that of L+size — so any liveness decision keyed on the
+// physical offset alone is ABA-prone. The frozen-tail protocol (Grant +
+// ApplyGrants) is what makes the reclaimer immune: space granted during
+// a pass must not become appendable until the owner applies it.
+func TestPWBWrapABA(t *testing.T) {
+	b, _ := newBuf(128) // 2 x 64B records per lap
+	v := make([]byte, 48)
+	off0, logical0, err := b.Append(nil, 0, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Append(nil, 1, v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grant alone must not free space: the scan owner has not applied it.
+	b.Grant(64)
+	if _, _, err := b.Append(nil, 2, v); err != ErrFull {
+		t.Fatalf("append consumed granted-but-unapplied space: err = %v", err)
+	}
+	if b.Tail() != 0 {
+		t.Fatalf("Grant moved the tail to %d", b.Tail())
+	}
+
+	// ApplyGrants (the owner, between passes) releases it; the next
+	// append physically aliases record 0 one lap later.
+	b.ApplyGrants()
+	if b.Tail() != 64 {
+		t.Fatalf("tail = %d after ApplyGrants, want 64", b.Tail())
+	}
+	off2, logical2, err := b.Append(nil, 2, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 != off0 {
+		t.Fatalf("wrapped record at %d, want alias of %d", off2, off0)
+	}
+	if logical2 == logical0 {
+		t.Fatal("logical cursors must stay distinct across laps")
+	}
+	if b.GlobalOff(logical0) != b.GlobalOff(logical2) {
+		t.Fatal("GlobalOff should alias across exactly one lap")
+	}
+
+	// Stale grants never regress the tail.
+	b.Grant(32)
+	b.ApplyGrants()
+	if b.Tail() != 64 {
+		t.Fatalf("stale grant moved tail to %d", b.Tail())
+	}
+}
+
+// TestScanCorruptHeaderReturnsError covers the panic→error conversion:
+// a header that parses as neither a record nor padding must surface as
+// ErrCorruptRecord so the reclaimer can abort its pass, not crash.
+func TestScanCorruptHeaderReturnsError(t *testing.T) {
+	b, dev := newBuf(256)
+	if _, _, err := b.Append(nil, 1, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	// Smash the magic of the first record.
+	dev.Store(nil, 12, []byte{0xde, 0xad, 0xbe, 0xef})
+	err := b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool { return true })
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("Scan on corrupt header = %v, want ErrCorruptRecord", err)
+	}
+}
+
+// TestUnpublishedFloor covers the append-to-publish window contract: a
+// record is excluded from the reclaimable range until the owner calls
+// Published.
+func TestUnpublishedFloor(t *testing.T) {
+	b, _ := newBuf(256)
+	if b.UnpublishedFloor() != ^uint64(0) {
+		t.Fatalf("fresh buffer floor = %d", b.UnpublishedFloor())
+	}
+	_, logical, err := b.Append(nil, 1, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.UnpublishedFloor() != logical {
+		t.Fatalf("floor = %d after append, want %d", b.UnpublishedFloor(), logical)
+	}
+	b.Published()
+	if b.UnpublishedFloor() != ^uint64(0) {
+		t.Fatalf("floor = %d after publish", b.UnpublishedFloor())
+	}
+	b.Append(nil, 2, make([]byte, 16))
+	b.Reset()
+	if b.UnpublishedFloor() != ^uint64(0) || b.Tail() != 0 || b.Head() != 0 {
+		t.Fatal("Reset did not clear cursors and publish-pending mark")
+	}
+	if b.BytesAppended() == 0 {
+		t.Fatal("BytesAppended must survive Reset (WAF accounting)")
 	}
 }
 
@@ -208,12 +315,14 @@ func TestManyLapsConsistency(t *testing.T) {
 			next++
 		}
 		// Verify the resident window then release half of it.
-		b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
+		if err := b.Scan(nil, b.Tail(), b.Head(), func(r Record) bool {
 			if !bytes.Equal(r.Value, val(int(r.HSITIdx))) {
 				t.Fatalf("lap %d: record %d corrupted: %q", lap, r.HSITIdx, r.Value)
 			}
 			return true
-		})
+		}); err != nil {
+			t.Fatal(err)
+		}
 		b.ReleaseTo(b.Tail() + uint64(b.Used()/2/16*16))
 	}
 	if next < 100 {
