@@ -44,10 +44,12 @@ check-docs:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# bench-smoke runs one benchmark one time: benchmark code can never
-# silently rot.
+# bench-smoke runs the Put benchmarks once: benchmark code can never
+# silently rot, and the job log shows the batch-vs-single comparison
+# (BenchmarkPut's epoch-enters/op = 1.0 vs BenchmarkPutBatch/size=32's
+# amortized fraction) at a longer benchtime so the counters are stable.
 bench-smoke:
-	$(GO) test -bench=BenchmarkPut -benchtime=1x -run '^$$' .
+	$(GO) test -bench='BenchmarkPut($$|Batch)' -benchtime=1000x -run '^$$' .
 
 # fuzz-smoke runs a short fuzz pass over the RESP parser.
 fuzz-smoke:

@@ -24,9 +24,18 @@ func benchRC() bench.RunConfig {
 	return bench.RunConfig{Threads: 4, Records: 4000, Ops: 8000}
 }
 
+// epochEnters reads the epoch.enters counter from the store's metrics
+// snapshot (0 before any epoch activity).
+func epochEnters(store *prism.Store) float64 {
+	v, _ := store.Metrics().Value("epoch.enters")
+	return v
+}
+
 // BenchmarkPut is a direct public-API write benchmark, and doubles as
 // the CI smoke run (`make bench-smoke` = -benchtime=1x): it keeps every
-// benchmark compiling and runnable at negligible cost.
+// benchmark compiling and runnable at negligible cost. It reports
+// epoch-enters/op as the amortization baseline for BenchmarkPutBatch:
+// one Put is one epoch critical section.
 func BenchmarkPut(b *testing.B) {
 	store, err := prism.Open(prism.Options{})
 	if err != nil {
@@ -35,12 +44,49 @@ func BenchmarkPut(b *testing.B) {
 	defer store.Close()
 	th := store.Thread(0)
 	val := make([]byte, 128)
+	e0 := epochEnters(store)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := []byte(fmt.Sprintf("bench-put-%08d", i%10000))
 		if err := th.Put(key, val); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	b.ReportMetric((epochEnters(store)-e0)/float64(b.N), "epoch-enters/op")
+}
+
+// BenchmarkPutBatch writes the same keys through PutBatch at several
+// batch sizes. The epoch-enters/op metric is the amortization headline:
+// size=32 must show ~1/32 of BenchmarkPut's one-enter-per-op (the CI
+// smoke log prints both for eyeball comparison).
+func BenchmarkPutBatch(b *testing.B) {
+	for _, size := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			store, err := prism.Open(prism.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			th := store.Thread(0)
+			val := make([]byte, 128)
+			kvs := make([]prism.KV, size)
+			e0 := epochEnters(store)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				for j := range kvs {
+					kvs[j] = prism.KV{
+						Key:   []byte(fmt.Sprintf("bench-put-%08d", (i+j)%10000)),
+						Value: val,
+					}
+				}
+				if err := th.PutBatch(kvs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric((epochEnters(store)-e0)/float64(b.N), "epoch-enters/op")
+		})
 	}
 }
 

@@ -47,6 +47,7 @@ func main() {
 		value   = flag.Int("value", 1024, "value size in bytes")
 		zipf    = flag.Float64("zipf", 0.99, "zipfian coefficient")
 		seed    = flag.Uint64("seed", 42, "workload seed")
+		batch   = flag.Int("batch", 1, "group consecutive same-kind ops into PutBatch/MultiGet windows of this size")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		metrics = flag.Bool("metrics", false, "print a final metrics-snapshot JSON document (see METRICS.md)")
 		every   = flag.Int64("metrics-every", 0, "also sample metrics every N virtual ms (implies -metrics)")
@@ -71,6 +72,7 @@ func main() {
 		ValueSize: *value,
 		Zipfian:   *zipf,
 		Seed:      *seed,
+		Batch:     *batch,
 	}
 	var mc *bench.MetricsCollector
 	if *metrics || *every > 0 {

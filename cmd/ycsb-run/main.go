@@ -32,6 +32,7 @@ func main() {
 		value      = flag.Int("value", 1024, "value size in bytes")
 		zipf       = flag.Float64("zipf", 0.99, "zipfian coefficient")
 		seed       = flag.Uint64("seed", 42, "workload seed")
+		batch      = flag.Int("batch", 1, "group consecutive same-kind ops into PutBatch/MultiGet windows of this size")
 		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot as JSON (see METRICS.md)")
 	)
 	flag.Parse()
@@ -66,6 +67,7 @@ func main() {
 		ValueSize: *value,
 		Zipfian:   *zipf,
 		Seed:      *seed,
+		Batch:     *batch,
 	}
 
 	load := bench.Load(st, *engineName, rc)

@@ -199,3 +199,51 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("render: %q", out)
 	}
 }
+
+// TestBatchedRunner drives the Batch>1 path: ops are grouped into
+// PutBatch/MultiGet windows, per-op counts stay exact, and the store's
+// batch metrics confirm the windows actually reached the batch API.
+func TestBatchedRunner(t *testing.T) {
+	st, err := NewEngine(EnginePrism, Params{Threads: 4, Records: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rc := tiny()
+	rc.Batch = 8
+	load := Load(st, EnginePrism, rc)
+	if load.Ops == 0 || load.Errors != 0 {
+		t.Fatalf("batched load result %+v", load)
+	}
+	r := Run(st, EnginePrism, ycsb.WorkloadA, rc)
+	if r.Errors != 0 {
+		t.Fatalf("batched run produced %d errors", r.Errors)
+	}
+	// Per-op accounting must not change under batching: every generated
+	// op records exactly one latency sample.
+	wantOps := int64(rc.Ops/rc.Threads) * int64(rc.Threads)
+	if r.Ops != wantOps {
+		t.Fatalf("batched run counted %d ops, want %d", r.Ops, wantOps)
+	}
+	src, ok := st.(MetricsSource)
+	if !ok {
+		t.Fatal("prism engine lost MetricsSource")
+	}
+	snap := src.Metrics()
+	if m, ok := snap.Get("core.batch_ops", map[string]string{"op": "put"}); !ok || m.Value <= 0 {
+		t.Fatalf("core.batch_ops{op=put} = %+v ok=%v", m, ok)
+	}
+	if m, ok := snap.Get("core.batch_ops", map[string]string{"op": "get"}); !ok || m.Value <= 0 {
+		t.Fatalf("core.batch_ops{op=get} = %+v ok=%v", m, ok)
+	}
+	// The fallback loop path must agree on counts for a non-batch engine.
+	st2, err := NewEngine(EngineKVell, Params{Threads: 4, Records: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	load2 := Load(st2, EngineKVell, rc)
+	if load2.Ops != load.Ops || load2.Errors != 0 {
+		t.Fatalf("fallback batched load %+v vs %+v", load2, load)
+	}
+}

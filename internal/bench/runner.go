@@ -32,6 +32,13 @@ type RunConfig struct {
 	MaxScanLen int
 	Seed       uint64
 
+	// Batch, when > 1, groups consecutive same-kind operations into
+	// windows of up to Batch and issues them through engine.PutBatch /
+	// engine.MultiGet — native single-epoch batches on Prism, plain
+	// per-key loops on the baselines. Scans always run individually.
+	// Latency is recorded per operation as its window's share.
+	Batch int
+
 	// TimelineBucketNS, when > 0, collects completed-op counts per
 	// virtual-time bucket (Figure 17).
 	TimelineBucketNS int64
@@ -182,14 +189,81 @@ func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, 
 			start := clk.Now()
 			var errs int64
 			var times []int64
+			batch := rc.Batch
+			if batch < 1 {
+				batch = 1
+			}
+			// Per-slot value copies: the generator reuses one value
+			// buffer, so a batch window must snapshot each value before
+			// the next op overwrites it.
+			var pairs []engine.Pair
+			var keys [][]byte
+			var valBufs [][]byte
+			if batch > 1 {
+				pairs = make([]engine.Pair, 0, batch)
+				keys = make([][]byte, 0, batch)
+				valBufs = make([][]byte, batch)
+				for i := range valBufs {
+					valBufs[i] = make([]byte, rc.ValueSize)
+				}
+			}
+			// flushRun issues the accumulated same-kind run as one batch
+			// call and spreads the window's virtual time evenly over its
+			// ops, so Result.Ops and latency counts stay per-op.
+			flushRun := func() {
+				n := len(pairs) + len(keys)
+				if n == 0 {
+					return
+				}
+				t0 := clk.Now()
+				var err error
+				if len(pairs) > 0 {
+					err = engine.PutBatch(kv, pairs)
+				} else {
+					_, err = engine.MultiGet(kv, keys)
+				}
+				if err != nil && !errors.Is(err, engine.ErrNotFound) {
+					errs++
+				}
+				share := (clk.Now() - t0) / int64(n)
+				for i := 0; i < n; i++ {
+					h.Record(share)
+					if rc.TimelineBucketNS > 0 {
+						times = append(times, clk.Now())
+					}
+				}
+				pairs = pairs[:0]
+				keys = keys[:0]
+			}
 			for i := 0; i < perThread; i++ {
 				if i%roundOps == 0 {
+					flushRun()
 					bar.await(clk)
 					if ti == 0 {
 						sampler.Observe(clk.Now())
 					}
 				}
 				op := gen.Next()
+				if batch > 1 {
+					switch op.Kind {
+					case ycsb.OpInsert, ycsb.OpUpdate:
+						if len(keys) > 0 || len(pairs) == batch {
+							flushRun()
+						}
+						v := valBufs[len(pairs)]
+						copy(v, gen.Value(keyID(op.Key)))
+						pairs = append(pairs, engine.Pair{Key: op.Key, Value: v})
+						continue
+					case ycsb.OpRead:
+						if len(pairs) > 0 || len(keys) == batch {
+							flushRun()
+						}
+						keys = append(keys, op.Key)
+						continue
+					default:
+						flushRun()
+					}
+				}
 				t0 := clk.Now()
 				var err error
 				switch op.Kind {
@@ -208,6 +282,7 @@ func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, 
 					times = append(times, clk.Now())
 				}
 			}
+			flushRun()
 			outs[ti] = threadOut{hist: h, startNS: start, endNS: clk.Now(), errs: errs, times: times}
 		}(ti)
 	}

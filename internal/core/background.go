@@ -226,9 +226,16 @@ func (s *Store) onScanEvict(chain svc.EvictedChain) {
 	}
 	var todo []staged
 	for _, e := range entries {
-		p := s.table.Load(clk, e.HSITIdx)
 		// Only values still resident in Value Storage with unchanged
 		// content participate; anything updated meanwhile is skipped.
+		// Currency is judged by the publish version under which the
+		// cached bytes were admitted — a length/media check alone would
+		// stage stale bytes when a same-length overwrite reused the
+		// offset (chunks are recycled without epoch grace).
+		if s.table.Version(e.HSITIdx) != e.Ver {
+			continue
+		}
+		p := s.table.Load(clk, e.HSITIdx)
 		if p.Media == hsit.VS && p.Len == len(e.Value) {
 			todo = append(todo, staged{e: e, old: p})
 		}
@@ -273,7 +280,10 @@ func (s *Store) onScanEvict(chain svc.EvictedChain) {
 		clk.AdvanceTo(done)
 		for j, ce := range committed {
 			newp := hsit.Pointer{Media: hsit.VS, Len: ce.ValueLen, Off: valuestore.GlobalOff(devIdx, ce.LocalOff)}
-			if s.table.PublishIf(clk, ce.HSITIdx, batch[j].old, newp) {
+			// Version-conditioned publish: the old offset may have been
+			// recycled since staging, so a pointer-word compare could
+			// alias (ABA) and clobber a newer value. The version cannot.
+			if s.table.PublishIfVersion(clk, ce.HSITIdx, batch[j].e.Ver, newp) {
 				s.vsm.Invalidate(batch[j].old.Off, batch[j].old.Len)
 			} else {
 				st.Invalidate(ce.LocalOff, ce.ValueLen)

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/hsit"
+)
+
+// Batch operations: PutBatch and MultiGet amortize the fixed per-op toll
+// of the public API — epoch enter/exit, publish-pending bookkeeping, and
+// (for reads) Value Storage IO — across many keys. The device-level
+// batching of §5.3 (thread combining) already merges concurrent IO;
+// these entry points remove the per-key software overhead above it.
+
+// PutBatch applies kvs in order, entering the epoch once and clearing
+// the PWB publish-pending window once per pass instead of once per key.
+//
+// Durability contract: PutBatch is NOT atomic. Entries are appended and
+// published in slice order, and each entry's HSIT publish is persisted
+// before the next entry is written, so a crash (or concurrent Close)
+// leaves a durable PREFIX of the batch: if entry i survived recovery,
+// entries 0..i-1 did too. On error the prefix applied so far remains;
+// a nil return means every entry is durable. Duplicate keys are applied
+// in order (the later entry wins), never coalesced — skipping an earlier
+// duplicate would break the prefix guarantee.
+func (t *Thread) PutBatch(kvs []KV) error {
+	s := t.s
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if len(kvs) == 0 {
+		return nil
+	}
+	var total int64
+	for i := range kvs {
+		if len(kvs[i].Value) > hsit.MaxValueLen {
+			return fmt.Errorf("prism: batch entry %d: value of %d bytes exceeds max %d",
+				i, len(kvs[i].Value), hsit.MaxValueLen)
+		}
+		total += int64(len(kvs[i].Value))
+	}
+	s.stats.puts.Add(int64(len(kvs)))
+	s.stats.batchPuts.Add(1)
+	s.stats.userBytesWritten.Add(total)
+	s.batchSizePut.Record(int64(len(kvs)))
+	t0 := t.Clk.Now()
+	defer func() { s.latPutBatch.Record(t.Clk.Now() - t0) }()
+
+	done := 0
+	for attempt := 0; attempt < 1_000_000; attempt++ {
+		n, err := t.putBatchEpoch(kvs[done:])
+		done += n
+		if err != errRetryPut {
+			if done == len(kvs) && err == nil {
+				t.maybeKickReclaim()
+				return nil
+			}
+			return err
+		}
+		// Stalled on a full PWB mid-batch: the pass's publish window is
+		// closed (deferred Published), so reclamation can make progress.
+		// Help epochs along and wait, in virtual time, for the latest
+		// reclamation pass — exactly the single-op Put stall protocol.
+		s.em.Collect()
+		runtime.Gosched()
+		t.Clk.AdvanceTo(s.reclaimStall[t.id].Load())
+	}
+	return errors.New("prism: PWB reclamation stalled")
+}
+
+// putBatchEpoch applies as many entries as one epoch-scoped pass can,
+// returning how many were applied. The PWB publish-pending floor is set
+// by the pass's first append and lifted once on the way out (every HSIT
+// publish in between has already persisted, so the single clear is safe
+// for the whole window).
+func (t *Thread) putBatchEpoch(kvs []KV) (applied int, err error) {
+	s := t.s
+	t.part.Enter()
+	defer t.part.Exit()
+	// One Published per pass — including the error paths, where records
+	// already published this pass must become visible to the reclaimer.
+	defer t.buf.Published()
+	for i := range kvs {
+		if s.closed.Load() {
+			return i, ErrClosed
+		}
+		if err := t.putStep(kvs[i].Key, kvs[i].Value, false); err != nil {
+			return i, err
+		}
+		if h := s.batchStepHook; h != nil {
+			h(i)
+		}
+	}
+	return len(kvs), nil
+}
+
+// MultiGet resolves keys in one epoch-scoped pass and returns one value
+// per key, with nil marking a missing key (present-but-empty values are
+// non-nil). Values resident only in Value Storage are read as merged,
+// sorted extents — one coalesced IO per extent through the §5.3 batching
+// scheme — instead of one IO per key.
+func (t *Thread) MultiGet(keys [][]byte) ([][]byte, error) {
+	return t.MultiGetInto(keys, make([][]byte, 0, len(keys)))
+}
+
+// MultiGetInto is MultiGet appending into vals (one entry per key, nil =
+// missing), returning the extended slice. Callers serving hot paths keep
+// a scratch slice and pass vals[:0] to avoid the per-batch allocation.
+func (t *Thread) MultiGetInto(keys [][]byte, vals [][]byte) ([][]byte, error) {
+	s := t.s
+	if s.closed.Load() {
+		return vals, ErrClosed
+	}
+	base := len(vals)
+	for range keys {
+		vals = append(vals, nil)
+	}
+	if len(keys) == 0 {
+		return vals, nil
+	}
+	s.stats.gets.Add(int64(len(keys)))
+	s.stats.batchGets.Add(1)
+	s.batchSizeGet.Record(int64(len(keys)))
+	t0 := t.Clk.Now()
+	defer func() { s.latMultiGet.Record(t.Clk.Now() - t0) }()
+	t.part.Enter()
+	defer t.part.Exit()
+
+	if cap(t.mgItems) < len(keys) {
+		t.mgItems = make([]scanItem, len(keys))
+	}
+	items := t.mgItems[:len(keys)]
+	t.mgPending = t.mgPending[:0]
+
+	// Fast paths per key (SVC, then PWB), collecting Value Storage
+	// residents for the merged batch read — the Scan resolution order.
+	for i, k := range keys {
+		items[i] = scanItem{key: k}
+		idx, ok := s.index.Lookup(t.Clk, k)
+		if !ok {
+			continue
+		}
+		items[i].idx = idx
+		if v, ok := t.svcRead(idx); ok {
+			items[i].val = cloneBytes(v)
+			continue
+		}
+		ver := s.table.Version(idx)
+		p := s.table.Load(t.Clk, idx)
+		switch p.Media {
+		case hsit.PWB:
+			v := s.pwbOf(p.Off).ReadValue(t.Clk, p.Off, p.Len)
+			if s.table.Load(nil, idx) == p {
+				s.stats.pwbHits.Add(1)
+				items[i].val = v
+				continue
+			}
+			items[i].val, _, _ = t.getOnce(idx, k)
+		case hsit.VS:
+			items[i].p = p
+			items[i].ver = ver
+			t.mgPending = append(t.mgPending, &items[i])
+		default:
+			// Deleted between lookup and load: stays missing.
+		}
+	}
+	t.readVSBatch(t.mgPending, false)
+
+	for i := range items {
+		vals[base+i] = items[i].val
+	}
+	return vals, nil
+}

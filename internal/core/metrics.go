@@ -45,6 +45,20 @@ func (s *Store) registerMetrics() {
 			Labels: map[string]string{"op": op}})
 	}
 	s.latPut, s.latGet, s.latScan = lat("put"), lat("get"), lat("scan")
+	s.latPutBatch, s.latMultiGet = lat("put_batch"), lat("multiget")
+
+	// Batch API (PutBatch/MultiGet): how often batches run and how many
+	// keys each carries. Per-key work still lands in core.ops above.
+	batchOps := func(op string, v func() int64) {
+		r.CounterFunc(obs.Desc{Name: "core.batch_ops", Help: "batch operations (PutBatch/MultiGet calls)", Unit: "ops",
+			Labels: map[string]string{"op": op}}, v)
+	}
+	batchOps("put", s.stats.batchPuts.Load)
+	batchOps("get", s.stats.batchGets.Load)
+	s.batchSizePut = r.Histogram(obs.Desc{Name: "core.batch_size", Help: "keys per batch operation", Unit: "keys",
+		Labels: map[string]string{"op": "put"}})
+	s.batchSizeGet = r.Histogram(obs.Desc{Name: "core.batch_size", Help: "keys per batch operation", Unit: "keys",
+		Labels: map[string]string{"op": "get"}})
 
 	// ---- svc: Scan-aware Value Cache (§4.4) ----
 	if s.cache != nil {
@@ -216,6 +230,8 @@ func (s *Store) registerMetrics() {
 		func() float64 { return float64(s.em.Epoch()) })
 	r.GaugeFunc(obs.Desc{Name: "epoch.pending", Help: "retired objects awaiting the two-epoch grace", Unit: "objects"},
 		func() float64 { return float64(s.em.Pending()) })
+	r.CounterFunc(obs.Desc{Name: "epoch.enters", Help: "epoch critical sections entered (batch ops amortize this per-op toll)", Unit: "ops"},
+		s.em.Enters)
 }
 
 // MetricsRegistry exposes the store's observability registry (nil when

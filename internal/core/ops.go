@@ -19,7 +19,10 @@ var pwbFullErr = pwb.ErrFull
 // dramCost models a DRAM copy: ~80ns latency plus 15 GB/s transfer.
 func dramCost(n int) int64 { return 80 + sim.TransferNS(n, 15_000_000_000) }
 
-func cloneBytes(b []byte) []byte { return append([]byte(nil), b...) }
+// cloneBytes copies b into a fresh, always non-nil slice: a present key
+// with an empty value must stay distinguishable from a missing key
+// (MultiGet reports absence as a nil entry).
+func cloneBytes(b []byte) []byte { return append(make([]byte, 0, len(b)), b...) }
 
 // errRetryPut signals that a Put attempt must restart outside its epoch
 // (the PWB was full; space can only be released once the thread unpins).
@@ -60,10 +63,18 @@ func (t *Thread) Put(key, value []byte) error {
 
 // putOnce performs one epoch-scoped write attempt.
 func (t *Thread) putOnce(key, value []byte) error {
-	s := t.s
 	t.part.Enter()
 	defer t.part.Exit()
+	return t.putStep(key, value, true)
+}
 
+// putStep is one index-traversal-plus-write for key, shared by Put and
+// PutBatch. The caller holds the epoch guard. clearPending selects
+// whether each publish immediately lifts the PWB publish-pending mark
+// (single-op Put) or the caller lifts it once for a whole append window
+// (PutBatch, via a deferred Buffer.Published).
+func (t *Thread) putStep(key, value []byte, clearPending bool) error {
+	s := t.s
 	idx, found := s.index.Lookup(t.Clk, key)
 	if !found {
 		var err error
@@ -72,7 +83,7 @@ func (t *Thread) putOnce(key, value []byte) error {
 			return err
 		}
 	}
-	if err := t.writeAndPublish(idx, value); err != nil {
+	if err := t.writeAndPublish(idx, value, clearPending); err != nil {
 		if !found {
 			s.table.Free(idx) // never published, never inserted
 		}
@@ -88,7 +99,7 @@ func (t *Thread) putOnce(key, value []byte) error {
 			old := s.table.Clear(t.Clk, idx)
 			t.invalidateOld(idx, old)
 			s.table.Free(idx)
-			return t.writeAndPublish(winner, value)
+			return t.writeAndPublish(winner, value, clearPending)
 		}
 	}
 	return nil
@@ -96,8 +107,10 @@ func (t *Thread) putOnce(key, value []byte) error {
 
 // writeAndPublish appends the value to the thread's PWB with idx as its
 // backward pointer and publishes the new location in HSIT, invalidating
-// whatever the entry pointed to before.
-func (t *Thread) writeAndPublish(idx uint64, value []byte) error {
+// whatever the entry pointed to before. When clearPending is false the
+// publish-pending mark set by Append stays in place for the caller's
+// batch-wide Published call.
+func (t *Thread) writeAndPublish(idx uint64, value []byte, clearPending bool) error {
 	s := t.s
 	off, _, err := t.buf.Append(t.Clk, idx, value)
 	if err == pwbFullErr {
@@ -116,7 +129,9 @@ func (t *Thread) writeAndPublish(idx uint64, value []byte) error {
 	// Lift the publish-pending mark set by Append: the reclaimer may now
 	// include this record in its scan, and is guaranteed to observe the
 	// pointer just published (so it classifies the record as live).
-	t.buf.Published()
+	if clearPending {
+		t.buf.Published()
+	}
 	t.invalidateOld(idx, old)
 	if s.opt.SyncVSWrites && t.buf.Used() >= s.opt.ChunkSize {
 		// Ablation: no asynchronous bandwidth-optimized write — the
@@ -190,20 +205,53 @@ func (t *Thread) Get(key []byte) ([]byte, error) {
 	return nil, fmt.Errorf("prism: value for %q kept moving; giving up", key)
 }
 
+// svcRead resolves idx through the SVC with the read-side currency
+// check: a cached value counts as a hit only while the HSIT entry's
+// publish version still equals the version it was admitted under. A
+// mismatch means the entry is not current — either an in-flight
+// admission that lost its race with a writer (published stale bytes for
+// a few instructions before its own guard retracts them), or a value
+// that GC / the scan rewrite relocated (bytes unchanged, version
+// bumped). Either way the entry is retracted so the next Value Storage
+// read re-admits under the current version. The check deliberately uses
+// the version, not the forward pointer: recycled PWB/chunk offsets can
+// make a stale pointer word bit-identical to the current one.
+func (t *Thread) svcRead(idx uint64) ([]byte, bool) {
+	s := t.s
+	if s.cache == nil {
+		return nil, false
+	}
+	h := s.table.LoadSVC(t.Clk, idx)
+	if h == 0 {
+		return nil, false
+	}
+	v, ver, ok := s.cache.Lookup(idx, h)
+	if !ok {
+		return nil, false
+	}
+	if s.table.Version(idx) != ver {
+		if s.table.CasSVC(t.Clk, idx, h, 0) {
+			s.cache.Invalidate(idx, h)
+		}
+		return nil, false
+	}
+	t.Clk.Advance(dramCost(len(v)))
+	s.stats.svcHits.Add(1)
+	return v, true
+}
+
 // resolve reads the value behind HSIT entry idx once. retry reports that
 // the location changed mid-read (reclamation/GC migration) and the caller
 // should re-resolve.
 func (t *Thread) resolve(idx uint64, key []byte, admit bool) (val []byte, err error, retry bool) {
 	s := t.s
-	if s.cache != nil {
-		if h := s.table.LoadSVC(t.Clk, idx); h != 0 {
-			if v, ok := s.cache.Lookup(idx, h); ok {
-				t.Clk.Advance(dramCost(len(v)))
-				s.stats.svcHits.Add(1)
-				return cloneBytes(v), nil, false
-			}
-		}
+	if v, ok := t.svcRead(idx); ok {
+		return cloneBytes(v), nil, false
 	}
+	// The version snapshot must precede the pointer load: SVC admission
+	// keeps the bytes only if the version is unchanged (and even) at
+	// publish time, which certifies no write overlapped the read.
+	ver := s.table.Version(idx)
 	p := s.table.Load(t.Clk, idx)
 	switch p.Media {
 	case hsit.None:
@@ -226,7 +274,7 @@ func (t *Thread) resolve(idx uint64, key []byte, admit bool) (val []byte, err er
 			return nil, nil, true // chunk recycled under us
 		}
 		if admit {
-			t.admitToSVC(idx, p, key, v)
+			t.admitToSVC(idx, ver, key, v)
 		}
 		return cloneBytes(v), nil, false
 	}
@@ -234,15 +282,15 @@ func (t *Thread) resolve(idx uint64, key []byte, admit bool) (val []byte, err er
 }
 
 // admitToSVC publishes a freshly read value in the cache (§4.4: admission
-// only on Value Storage reads, lock-free HSIT publication). p is the
-// forward pointer under which value was read; admission is aborted if the
-// entry has moved on since.
-func (t *Thread) admitToSVC(idx uint64, p hsit.Pointer, key, value []byte) (handle uint64, admitted bool) {
+// only on Value Storage reads, lock-free HSIT publication). ver is the
+// entry's publish version observed before the pointer load that the read
+// resolved; admission is aborted if the entry has moved on since.
+func (t *Thread) admitToSVC(idx uint64, ver uint64, key, value []byte) (handle uint64, admitted bool) {
 	s := t.s
-	if s.cache == nil {
+	if s.cache == nil || ver&1 != 0 {
 		return 0, false
 	}
-	e := s.cache.Admit(idx, key, value)
+	e := s.cache.Admit(idx, ver, key, value)
 	if !s.table.CasSVC(t.Clk, idx, 0, e.Handle()) {
 		s.cache.AbortAdmit(e)
 		return 0, false
@@ -252,9 +300,17 @@ func (t *Thread) admitToSVC(idx uint64, p hsit.Pointer, key, value []byte) (hand
 	// our read may have run its invalidateOld before the CAS above, seen
 	// word1 == 0, and concluded there was nothing to unpublish — which
 	// would leave these stale bytes cached forever. Re-checking the
-	// forward pointer after publishing closes the window: whichever side
-	// acts second is guaranteed to see the other's update.
-	if s.table.Load(nil, idx) != p {
+	// publish version after publishing closes the window: whichever side
+	// acts second is guaranteed to see the other's update. The version —
+	// not the forward pointer — is what makes the guard sound: Value
+	// Storage chunks and PWB ring slots are recycled without epoch grace,
+	// so a superseded value of the same length can be rewritten at the
+	// same offset and make the pointer word match a stale snapshot (the
+	// releaseChunk coincidence is linearizable for an overlapping read,
+	// but caching it would leak the stale bytes to later reads). A reader
+	// that resolves the handle between the CAS and this retraction is
+	// covered by svcRead's identical version check.
+	if s.table.Version(idx) != ver {
 		if s.table.CasSVC(t.Clk, idx, e.Handle(), 0) {
 			s.cache.Invalidate(idx, e.Handle())
 		}
@@ -315,16 +371,11 @@ func (t *Thread) Scan(start []byte, count int, fn func(kv KV) bool) error {
 	// Resolve fast paths; collect Value Storage residents for batching.
 	var pending []*scanItem
 	for _, it := range items {
-		if s.cache != nil {
-			if h := s.table.LoadSVC(t.Clk, it.idx); h != 0 {
-				if v, ok := s.cache.Lookup(it.idx, h); ok {
-					t.Clk.Advance(dramCost(len(v)))
-					s.stats.svcHits.Add(1)
-					it.val = cloneBytes(v)
-					continue
-				}
-			}
+		if v, ok := t.svcRead(it.idx); ok {
+			it.val = cloneBytes(v)
+			continue
 		}
+		ver := s.table.Version(it.idx)
 		p := s.table.Load(t.Clk, it.idx)
 		switch p.Media {
 		case hsit.PWB:
@@ -337,12 +388,13 @@ func (t *Thread) Scan(start []byte, count int, fn func(kv KV) bool) error {
 			it.val, _, _ = t.getOnce(it.idx, it.key)
 		case hsit.VS:
 			it.p = p
+			it.ver = ver
 			pending = append(pending, it)
 		default:
 			// Deleted between index scan and resolution: skip.
 		}
 	}
-	t.readVSBatch(pending)
+	t.readVSBatch(pending, true)
 
 	for _, it := range items {
 		if it.val == nil {
@@ -372,6 +424,7 @@ type scanItem struct {
 	idx uint64
 	val []byte
 	p   hsit.Pointer // set when pending a Value Storage read
+	ver uint64       // publish version observed before p was loaded
 }
 
 // mergeGap is the maximum gap (bytes) between two records on the same
@@ -381,7 +434,10 @@ const mergeGap = 4096
 // readVSBatch fetches the pending items' records with merged extents:
 // records adjacent on the same device (within mergeGap bytes) coalesce
 // into one IO — this is why the SVC's sorted rewrite reduces scan IO.
-func (t *Thread) readVSBatch(pending []*scanItem) {
+// chain selects the scan-specific SVC eviction chaining (§4.4); MultiGet
+// shares the merged-read machinery but its keys are not a key-ordered
+// range, so chaining them would invite pointless rewrites.
+func (t *Thread) readVSBatch(pending []*scanItem, chain bool) {
 	if len(pending) == 0 {
 		return
 	}
@@ -461,11 +517,11 @@ func (t *Thread) readVSBatch(pending []*scanItem) {
 			if it.val == nil || it.p.IsNil() {
 				continue
 			}
-			if h, ok := t.admitToSVC(it.idx, it.p, it.key, it.val); ok {
+			if h, ok := t.admitToSVC(it.idx, it.ver, it.key, it.val); ok {
 				handles = append(handles, h)
 			}
 		}
-		if !s.opt.DisableScanSort && len(handles) >= 2 && len(extents) > 1 {
+		if chain && !s.opt.DisableScanSort && len(handles) >= 2 && len(extents) > 1 {
 			s.cache.LinkChain(handles)
 		}
 	}

@@ -15,6 +15,13 @@ import (
 // store always agrees with an in-memory reference model — every
 // committed write is durable, every delete holds, reads never return
 // stale or torn values.
+//
+// Batch operations are part of the mix, including crashes injected
+// MID-batch via Store.batchStepHook. PutBatch's durability contract is
+// prefix consistency: after recovery, exactly the entries before the
+// crash point hold their new values and every later entry is untouched —
+// never a suffix entry without its predecessors (hsit.Publish persists
+// each forward pointer before the next entry appends).
 func TestStoreMatchesModelWithCrashes(t *testing.T) {
 	f := func(seed uint64) bool {
 		s, err := Open(Options{
@@ -35,7 +42,88 @@ func TestStoreMatchesModelWithCrashes(t *testing.T) {
 		ref := map[string]string{}
 		for i := 0; i < 1200; i++ {
 			k := fmt.Sprintf("key%03d", rng.Intn(150))
-			switch rng.Intn(12) {
+			switch rng.Intn(14) {
+			case 12:
+				// MultiGet agreement: nil iff the model lacks the key.
+				keys := make([][]byte, 2+rng.Intn(6))
+				for j := range keys {
+					keys[j] = []byte(fmt.Sprintf("key%03d", rng.Intn(150)))
+				}
+				vals, err := th.MultiGet(keys)
+				if err != nil {
+					t.Errorf("multiget: %v", err)
+					return false
+				}
+				for j, kk := range keys {
+					want, exists := ref[string(kk)]
+					if exists != (vals[j] != nil) {
+						t.Errorf("multiget %q: got %v, model exists=%v", kk, vals[j], exists)
+						return false
+					}
+					if exists && string(vals[j]) != want {
+						t.Errorf("multiget %q = %q, model %q", kk, vals[j], want)
+						return false
+					}
+				}
+			case 13:
+				// PutBatch, occasionally crashed mid-batch. The hook
+				// fires after entry `step` has been applied, so a crash
+				// at step c commits exactly entries 0..c.
+				n := 2 + rng.Intn(5)
+				kvs := make([]KV, n)
+				for j := range kvs {
+					kvs[j] = KV{
+						Key:   []byte(fmt.Sprintf("key%03d", rng.Intn(150))),
+						Value: []byte(fmt.Sprintf("bval-%d-%d", i, j)),
+					}
+				}
+				crashAt := -1
+				if rng.Intn(6) == 0 {
+					crashAt = rng.Intn(n)
+					s.batchStepHook = func(step int) {
+						if step == crashAt {
+							s.Crash()
+						}
+					}
+				}
+				err := th.PutBatch(kvs)
+				s.batchStepHook = nil
+				applied := n
+				switch {
+				case err == nil:
+					// Full application — a crash at the last step still
+					// commits everything.
+				case crashAt >= 0 && errors.Is(err, ErrClosed):
+					applied = crashAt + 1
+				default:
+					t.Errorf("putbatch: %v", err)
+					return false
+				}
+				for j := 0; j < applied; j++ {
+					ref[string(kvs[j].Key)] = string(kvs[j].Value)
+				}
+				if crashAt >= 0 {
+					if _, err := s.Recover(); err != nil {
+						t.Errorf("recover mid-batch: %v", err)
+						return false
+					}
+					// Prefix consistency: after recovery every batch key
+					// agrees with the model that applied exactly the
+					// prefix — suffix entries must hold their pre-batch
+					// values (or stay missing), never the new ones.
+					for _, kv := range kvs {
+						want, exists := ref[string(kv.Key)]
+						got, gerr := th.Get(kv.Key)
+						if exists != (gerr == nil) {
+							t.Errorf("post-crash batch key %q: err=%v, model exists=%v", kv.Key, gerr, exists)
+							return false
+						}
+						if exists && string(got) != want {
+							t.Errorf("post-crash batch key %q = %q, model %q", kv.Key, got, want)
+							return false
+						}
+					}
+				}
 			case 0:
 				if err := th.Delete([]byte(k)); err == nil {
 					delete(ref, k)

@@ -167,8 +167,14 @@ type Store struct {
 
 	// Observability (nil when Options.DisableMetrics): the registry and
 	// the owned hot-path histograms of op latency in virtual ns.
-	reg                     *obs.Registry
-	latPut, latGet, latScan *obs.Histogram
+	reg                        *obs.Registry
+	latPut, latGet, latScan    *obs.Histogram
+	latPutBatch, latMultiGet   *obs.Histogram
+	batchSizePut, batchSizeGet *obs.Histogram
+
+	// batchStepHook, when non-nil, runs after each batch entry is applied
+	// (crash-injection point for the mid-batch prefix-consistency tests).
+	batchStepHook func(i int)
 }
 
 type gcReq struct {
@@ -178,6 +184,7 @@ type gcReq struct {
 
 type statsCounters struct {
 	puts, gets, deletes, scans    atomic.Int64
+	batchPuts, batchGets          atomic.Int64
 	svcHits, pwbHits, vsReads     atomic.Int64
 	userBytesWritten              atomic.Int64
 	reclaims, pwbLiveMigrated     atomic.Int64
@@ -197,6 +204,11 @@ type Thread struct {
 	part *epoch.Participant
 	buf  *pwb.Buffer
 	rng  *sim.RNG
+
+	// MultiGet scratch, reused across calls (a Thread is single-owner, so
+	// per-thread reuse is race-free and keeps batch reads allocation-flat).
+	mgItems   []scanItem
+	mgPending []*scanItem
 }
 
 // Open creates a Store over fresh simulated devices.
@@ -347,6 +359,7 @@ func (s *Store) readVS(clk *sim.Clock, p hsit.Pointer) []byte {
 // Stats is a point-in-time snapshot of store-level counters.
 type Stats struct {
 	Puts, Gets, Deletes, Scans int64
+	BatchPuts, BatchGets       int64
 	SVCHits, PWBHits, VSReads  int64
 	UserBytesWritten           int64
 	Reclaims, PWBLiveMigrated  int64
@@ -365,6 +378,8 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Puts:               s.stats.puts.Load(),
 		Gets:               s.stats.gets.Load(),
+		BatchPuts:          s.stats.batchPuts.Load(),
+		BatchGets:          s.stats.batchGets.Load(),
 		Deletes:            s.stats.deletes.Load(),
 		Scans:              s.stats.scans.Load(),
 		SVCHits:            s.stats.svcHits.Load(),

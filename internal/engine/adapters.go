@@ -70,3 +70,17 @@ func (t prismThread) Scan(start []byte, count int, fn func(key, value []byte) bo
 }
 
 func (t prismThread) Clock() *sim.Clock { return t.t.Clk }
+
+// PutBatch implements BatchKV over the core single-epoch batch write.
+func (t prismThread) PutBatch(pairs []Pair) error {
+	kvs := make([]core.KV, len(pairs))
+	for i, p := range pairs {
+		kvs[i] = core.KV{Key: p.Key, Value: p.Value}
+	}
+	return t.t.PutBatch(kvs)
+}
+
+// MultiGet implements BatchKV over the core merged-extent batch read.
+func (t prismThread) MultiGet(keys [][]byte) ([][]byte, error) {
+	return t.t.MultiGet(keys)
+}

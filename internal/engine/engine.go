@@ -32,6 +32,59 @@ type KV interface {
 	Clock() *sim.Clock
 }
 
+// BatchKV is the optional batch extension of KV: engines with native
+// batch operations (Prism's single-epoch PutBatch/MultiGet) implement
+// it; callers go through the package-level PutBatch/MultiGet helpers,
+// which fall back to per-key loops for the baselines — exactly the
+// unamortized cost the batch API is measured against.
+type BatchKV interface {
+	// PutBatch applies pairs in order. Not atomic: on error a prefix of
+	// the batch may have been applied.
+	PutBatch(pairs []Pair) error
+	// MultiGet returns one value per key; a nil entry marks a missing
+	// key (no ErrNotFound), a present-but-empty value is non-nil.
+	MultiGet(keys [][]byte) ([][]byte, error)
+}
+
+// PutBatch writes pairs through kv: natively when kv implements BatchKV,
+// otherwise as a per-pair Put loop.
+func PutBatch(kv KV, pairs []Pair) error {
+	if b, ok := kv.(BatchKV); ok {
+		return b.PutBatch(pairs)
+	}
+	for _, p := range pairs {
+		if err := kv.Put(p.Key, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiGet reads keys through kv: natively when kv implements BatchKV,
+// otherwise as a per-key Get loop. Missing keys yield nil entries;
+// present-but-empty values are non-nil.
+func MultiGet(kv KV, keys [][]byte) ([][]byte, error) {
+	if b, ok := kv.(BatchKV); ok {
+		return b.MultiGet(keys)
+	}
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		v, err := kv.Get(k)
+		switch {
+		case err == nil:
+			if v == nil {
+				v = []byte{}
+			}
+			vals[i] = v
+		case errors.Is(err, ErrNotFound):
+			// stays nil
+		default:
+			return vals, err
+		}
+	}
+	return vals, nil
+}
+
 // Store is a key-value store instance with per-thread handles.
 type Store interface {
 	// Thread returns handle i; handles must not be shared across

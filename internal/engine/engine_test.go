@@ -74,6 +74,67 @@ func TestPrismAdapterScan(t *testing.T) {
 	}
 }
 
+func TestPrismAdapterBatch(t *testing.T) {
+	s := openPrism(t)
+	kv := s.Thread(0)
+	if _, ok := kv.(BatchKV); !ok {
+		t.Fatal("prism thread does not implement BatchKV")
+	}
+	var pairs []Pair
+	for i := 0; i < 40; i++ {
+		pairs = append(pairs, Pair{Key: []byte(fmt.Sprintf("b%03d", i)), Value: []byte(fmt.Sprintf("v%03d", i))})
+	}
+	if err := PutBatch(kv, pairs); err != nil {
+		t.Fatal(err)
+	}
+	keys := [][]byte{[]byte("b005"), []byte("missing"), []byte("b039")}
+	vals, err := MultiGet(kv, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "v005" || vals[1] != nil || string(vals[2]) != "v039" {
+		t.Fatalf("MultiGet = %q", vals)
+	}
+	// Present-but-empty stays distinguishable from missing.
+	if err := kv.Put([]byte("empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = MultiGet(kv, [][]byte{[]byte("empty"), []byte("missing")})
+	if err != nil || vals[0] == nil || len(vals[0]) != 0 || vals[1] != nil {
+		t.Fatalf("empty/missing = %v, %v", vals, err)
+	}
+}
+
+// loopKV is a minimal non-batch engine; the package helpers must fall
+// back to per-key loops for it with identical semantics.
+type loopKV struct {
+	KV
+	m map[string][]byte
+}
+
+func (l *loopKV) Put(k, v []byte) error { l.m[string(k)] = append([]byte{}, v...); return nil }
+func (l *loopKV) Get(k []byte) ([]byte, error) {
+	v, ok := l.m[string(k)]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+func TestBatchHelpersFallback(t *testing.T) {
+	kv := &loopKV{m: map[string][]byte{}}
+	if err := PutBatch(kv, []Pair{{Key: []byte("a"), Value: []byte("1")}, {Key: []byte("e"), Value: nil}}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := MultiGet(kv, [][]byte{[]byte("a"), []byte("nope"), []byte("e")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "1" || vals[1] != nil || vals[2] == nil || len(vals[2]) != 0 {
+		t.Fatalf("fallback MultiGet = %q", vals)
+	}
+}
+
 func TestPrismAdapterWriteAmp(t *testing.T) {
 	s := openPrism(t)
 	kv := s.Thread(0)

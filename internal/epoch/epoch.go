@@ -46,7 +46,10 @@ type Participant struct {
 	m *Manager
 	// state holds (epoch+1) while inside a critical section, 0 outside.
 	state atomic.Uint64
-	exits uint64
+	// enters counts critical sections begun; atomic because Manager.Enters
+	// sums it from other goroutines while the owner keeps operating.
+	enters atomic.Int64
+	exits  uint64
 }
 
 // Register adds a participant. Participants are never removed; an idle
@@ -61,6 +64,7 @@ func (m *Manager) Register() *Participant {
 
 // Enter begins a critical section, pinning the current global epoch.
 func (p *Participant) Enter() {
+	p.enters.Add(1)
 	for {
 		e := p.m.global.Load()
 		p.state.Store(e + 1)
@@ -149,6 +153,20 @@ func (m *Manager) DiscardRetired() {
 
 // Epoch returns the current global epoch (for tests and introspection).
 func (m *Manager) Epoch() uint64 { return m.global.Load() }
+
+// Enters returns the total number of critical sections begun across all
+// participants — the per-op epoch toll that batch operations amortize
+// (one Enter covers a whole PutBatch/MultiGet).
+func (m *Manager) Enters() int64 {
+	m.mu.Lock()
+	parts := m.parts
+	m.mu.Unlock()
+	var n int64
+	for _, p := range parts {
+		n += p.enters.Load()
+	}
+	return n
+}
 
 // Pending returns the number of retired-but-unreclaimed objects.
 func (m *Manager) Pending() int {

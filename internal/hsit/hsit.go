@@ -27,11 +27,19 @@
 // linearization point of a write. Callers must hold an epoch
 // (epoch.Participant.Enter) across any load-then-use of an entry, since
 // freed entries are recycled only after the two-epoch grace period.
+//
+// Each entry additionally carries a volatile (DRAM) publish version — a
+// per-entry seqlock bumped by every pointer install. Readers are
+// unaffected; publishers serialize per entry on it. Its purpose is
+// ABA-safe currency certification for the SVC: pointer words alias when
+// PWB slots or Value Storage chunks are recycled, versions never do.
+// See Version, PublishIfVersion.
 package hsit
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -136,6 +144,24 @@ type Table struct {
 	free []uint64 // recycled slots
 
 	allocated atomic.Int64 // live entries (for NVM-space accounting)
+
+	// vers holds one volatile publish-version word per entry (DRAM, not
+	// NVM: versions are rebuilt as zero after a crash, which is safe
+	// because the SVC they protect is nullified during recovery too).
+	//
+	// The word is a seqlock: even = quiescent, odd = a publish in
+	// flight. Every publisher claims the entry (CAS even→odd), installs
+	// the pointer, and releases with +1 (Publish) or restores the old
+	// even value when nothing was installed (PublishIf miss). The
+	// counter is monotone over successful publishes and never reused, so
+	// "version unchanged and even" certifies that NO pointer install
+	// overlapped the observation window — a guarantee the pointer word
+	// itself cannot give: PWB ring offsets and Value Storage chunks are
+	// recycled, so a superseded-then-rewritten value of the same length
+	// can land at the same offset and make the pointer word bit-identical
+	// to a stale snapshot (ABA). Cache admission keyed on pointer
+	// equality would then publish stale bytes; versions close that.
+	vers []atomic.Uint64
 }
 
 // New creates a table over capacity entries starting at byte offset base
@@ -147,7 +173,33 @@ func New(dev *nvm.Device, base int, capacity int, em *epoch.Manager) *Table {
 	if base+capacity*EntrySize > dev.Size() {
 		panic("hsit: region exceeds device")
 	}
-	return &Table{dev: dev, base: base, cap: uint64(capacity), em: em}
+	return &Table{dev: dev, base: base, cap: uint64(capacity), em: em,
+		vers: make([]atomic.Uint64, capacity)}
+}
+
+// Version returns the entry's volatile publish version. Even values are
+// quiescent; an odd value means a publish is in flight. A reader that
+// observes the same even version before loading the forward pointer and
+// after acting on the bytes it read is guaranteed that no publish
+// overlapped — the foundation of SVC admission's currency guard, which
+// cannot rely on pointer-word equality (recycled offsets make stale
+// pointer words bit-identical to current ones).
+func (t *Table) Version(idx uint64) uint64 {
+	t.checkIdx(idx)
+	return t.vers[idx].Load()
+}
+
+// lockVersion claims idx's publish seqlock (even→odd), spinning out any
+// concurrent publisher. Critical sections are a handful of simulated-NVM
+// word operations, so the spin is short and never blocks on IO.
+func (t *Table) lockVersion(idx uint64) uint64 {
+	for {
+		v := t.vers[idx].Load()
+		if v&1 == 0 && t.vers[idx].CompareAndSwap(v, v+1) {
+			return v
+		}
+		runtime.Gosched()
+	}
 }
 
 // Capacity returns the number of entry slots.
@@ -220,44 +272,66 @@ func (t *Table) Load(clk nvm.Clock, idx uint64) Pointer {
 	return Decode(w)
 }
 
-// Publish unconditionally installs p as idx's forward pointer with the
-// durable-linearizable dirty-bit protocol and returns the pointer it
-// replaced. The replaced location is now ill-coupled garbage the caller
-// must invalidate (PWB: nothing to do; VS: clear the validity bit).
-func (t *Table) Publish(clk nvm.Clock, idx uint64, p Pointer) Pointer {
-	t.checkIdx(idx)
-	off := t.word0(idx)
-	neww := Encode(p)
+// install runs the durable-linearizable dirty-bit install under the
+// publish claim: CAS in the new word with the dirty bit set, persist,
+// clear. The CAS loop only contends with readers' flush-on-read clears,
+// never another publisher (those are spun out by the seqlock).
+func (t *Table) install(clk nvm.Clock, off int, neww uint64) uint64 {
 	for {
 		old := t.dev.LoadUint64(clk, off)
 		if t.dev.CompareAndSwapUint64(clk, off, old, neww|dirtyBit) {
 			t.dev.Persist(clk, off, 8)
 			t.dev.CompareAndSwapUint64(clk, off, neww|dirtyBit, neww)
-			return Decode(old)
+			return old
 		}
 	}
+}
+
+// Publish unconditionally installs p as idx's forward pointer with the
+// durable-linearizable dirty-bit protocol and returns the pointer it
+// replaced. The replaced location is now ill-coupled garbage the caller
+// must invalidate (PWB: nothing to do; VS: clear the validity bit).
+func (t *Table) Publish(clk nvm.Clock, idx uint64, p Pointer) Pointer {
+	v := t.lockVersion(idx)
+	old := t.install(clk, t.word0(idx), Encode(p))
+	t.vers[idx].Store(v + 2)
+	return Decode(old)
 }
 
 // PublishIf installs p only if the current pointer still equals expect
 // (ignoring the dirty bit). It returns false when the entry has moved on —
 // the reclamation/GC case where a foreground write superseded the value
 // being migrated (§5.2). On success the expect location is garbage.
+//
+// Callers must guarantee expect cannot be a recycled-offset alias of a
+// different value (reclamation's frozen-tail scan and GC's victim-chunk
+// pin both do); callers that cannot, use PublishIfVersion.
 func (t *Table) PublishIf(clk nvm.Clock, idx uint64, expect, p Pointer) bool {
-	t.checkIdx(idx)
+	v := t.lockVersion(idx)
 	off := t.word0(idx)
-	expw := Encode(expect)
-	neww := Encode(p)
-	for {
-		old := t.dev.LoadUint64(clk, off)
-		if old&^dirtyBit != expw {
-			return false
-		}
-		if t.dev.CompareAndSwapUint64(clk, off, old, neww|dirtyBit) {
-			t.dev.Persist(clk, off, 8)
-			t.dev.CompareAndSwapUint64(clk, off, neww|dirtyBit, neww)
-			return true
-		}
+	if t.dev.LoadUint64(clk, off)&^dirtyBit != Encode(expect) {
+		t.vers[idx].Store(v) // nothing installed: restore quiescence
+		return false
 	}
+	t.install(clk, off, Encode(p))
+	t.vers[idx].Store(v + 2)
+	return true
+}
+
+// PublishIfVersion installs p only if the entry's publish version still
+// equals expectVer (an even Version() observation taken when the caller
+// read the value it is relocating). Unlike PublishIf's pointer-word
+// compare, the version cannot alias across offset reuse, so this is the
+// safe conditional publish for relocators whose old location may have
+// been recycled since the snapshot (the SVC scan rewrite).
+func (t *Table) PublishIfVersion(clk nvm.Clock, idx uint64, expectVer uint64, p Pointer) bool {
+	t.checkIdx(idx)
+	if expectVer&1 != 0 || !t.vers[idx].CompareAndSwap(expectVer, expectVer+1) {
+		return false
+	}
+	t.install(clk, t.word0(idx), Encode(p))
+	t.vers[idx].Store(expectVer + 2)
+	return true
 }
 
 // Clear removes the forward pointer (delete path), returning the old one.

@@ -131,6 +131,9 @@ func (b *Buffer) GlobalOff(logical uint64) uint64 { return uint64(b.pos(logical)
 // to). Until then the reclaimer's scan bound (UnpublishedFloor) excludes
 // the record, so a pass that would otherwise see it as ill-coupled
 // cannot release its space out from under the soon-to-land pointer.
+// Several appends may share one publish window: the floor sticks to the
+// first record appended since the last Published call, so a batch of
+// appends followed by a single Published is covered end to end.
 func (b *Buffer) Append(clk nvm.Clock, hsitIdx uint64, value []byte) (devOff uint64, logical uint64, err error) {
 	need := recSize(len(value))
 	if need > b.size {
@@ -159,17 +162,23 @@ func (b *Buffer) Append(clk nvm.Clock, hsitIdx uint64, value []byte) (devOff uin
 
 	// Publish-pending mark BEFORE the head advance: a reclaimer that
 	// observes the new head is guaranteed to also observe the mark (or
-	// the completed publish that clears it).
-	b.unpublished.Store(head)
+	// the completed publish that clears it). The mark is a floor, not a
+	// single-record cursor: when the owner appends several records before
+	// calling Published (a PutBatch), the first unpublished record keeps
+	// the floor, so the reclaimer's scan cap excludes the whole window.
+	if b.unpublished.Load() == noPending {
+		b.unpublished.Store(head)
+	}
 	b.head.Store(head + need)
 	b.bytesAppended.Add(int64(len(value)))
 	return uint64(off), head, nil
 }
 
 // Published clears the publish-pending mark set by Append. Only the
-// owning thread may call it, after the record's HSIT forward pointer is
-// installed (the reclaimer observing the cleared mark is thereby
-// guaranteed to observe the published pointer too).
+// owning thread may call it, after the forward pointers of every record
+// appended since the previous Published call are installed (the
+// reclaimer observing the cleared mark is thereby guaranteed to observe
+// the published pointers too).
 func (b *Buffer) Published() {
 	b.unpublished.Store(noPending)
 }

@@ -289,6 +289,40 @@ func TestUnpublishedFloor(t *testing.T) {
 	}
 }
 
+// TestUnpublishedFloorBatch covers the batch publish window: several
+// appends before one Published must keep the floor at the FIRST
+// unpublished record — if a later append raised it, the reclaimer could
+// release earlier records of the window while their HSIT publishes are
+// still in flight (the PR 3 race, reintroduced batch-style).
+func TestUnpublishedFloorBatch(t *testing.T) {
+	b, _ := newBuf(1024)
+	_, first, err := b.Append(nil, 1, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(2); i <= 4; i++ {
+		if _, _, err := b.Append(nil, i, make([]byte, 16)); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.UnpublishedFloor(); got != first {
+			t.Fatalf("floor moved to %d after append %d, want pinned at %d", got, i, first)
+		}
+	}
+	b.Published()
+	if b.UnpublishedFloor() != ^uint64(0) {
+		t.Fatalf("floor = %d after batch publish", b.UnpublishedFloor())
+	}
+	// The next window starts at the next append's cursor, not the old one.
+	_, next, err := b.Append(nil, 5, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.UnpublishedFloor(); got != next {
+		t.Fatalf("new window floor = %d, want %d", got, next)
+	}
+	b.Published()
+}
+
 func TestCostCharging(t *testing.T) {
 	b, _ := newBuf(1024)
 	clk := sim.NewClock(0)

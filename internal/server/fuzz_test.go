@@ -18,6 +18,12 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
 	f.Add([]byte("PING\r\nGET key\r\n"))
 	f.Add([]byte("*2\r\n$4\r\nMGET\r\n$0\r\n\r\n"))
+	// Transaction framing: a whole MULTI..EXEC block in one pipeline,
+	// a discarded block, and control verbs with no block open.
+	f.Add([]byte("*1\r\n$5\r\nMULTI\r\n*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n*2\r\n$3\r\nGET\r\n$1\r\nk\r\n*1\r\n$4\r\nEXEC\r\n"))
+	f.Add([]byte("MULTI\r\nSET a 1\r\nDISCARD\r\nEXEC\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nEXEC\r\n*1\r\n$7\r\nDISCARD\r\n*1\r\n$5\r\nMULTI\r\n*1\r\n$5\r\nMULTI\r\n"))
+	f.Add([]byte("*1\r\n$5\r\nMULTI\r\n*1\r\n$6\r\nNOSUCH\r\n*1\r\n$4\r\nEXEC\r\n"))
 	// Truncated frames.
 	f.Add([]byte("*2\r\n$3\r\nGET\r\n"))
 	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhel"))

@@ -12,6 +12,7 @@ import (
 var knownVerbs = []string{
 	"PING", "ECHO", "GET", "SET", "DEL", "EXISTS",
 	"MGET", "MSET", "SCAN", "DBSIZE", "INFO", "COMMAND", "QUIT",
+	"MULTI", "EXEC", "DISCARD",
 }
 
 // serverMetrics holds the server.* instrumentation (see METRICS.md).
@@ -26,6 +27,7 @@ type serverMetrics struct {
 	bytesOut   *obs.Counter
 	commands   map[string]*obs.Counter
 	otherCmds  *obs.Counter
+	multiExec  *obs.Counter
 	virtLat    *obs.Histogram
 	wallLat    *obs.Histogram
 }
@@ -49,6 +51,7 @@ func (s *Server) registerMetrics(r *obs.Registry) {
 	}
 	m.otherCmds = r.Counter(obs.Desc{Name: "server.commands", Help: "commands dispatched", Unit: "ops",
 		Labels: map[string]string{"verb": "other"}})
+	m.multiExec = r.Counter(obs.Desc{Name: "server.multi_exec", Help: "MULTI/EXEC blocks executed (queued commands batched on the pinned thread)", Unit: "txns"})
 	m.virtLat = r.Histogram(obs.Desc{Name: "server.cmd_virtual_ns", Help: "store-command latency in virtual time (engine cost)", Unit: "ns"})
 	m.wallLat = r.Histogram(obs.Desc{Name: "server.cmd_wall_ns", Help: "command latency in wall-clock time (host cost)", Unit: "ns"})
 }

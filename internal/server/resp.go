@@ -187,6 +187,11 @@ func unexpectedEOF(err error) error {
 // matter how deep the client pipelines.
 type respWriter struct {
 	bw *bufio.Writer
+	// num is the integer-encoding scratch: length prefixes and integer
+	// replies format into it with strconv.AppendInt, so encoding a reply
+	// — even an MGET array with one bulk header per key — allocates
+	// nothing (asserted by TestWriterZeroAllocs).
+	num [32]byte
 }
 
 func newRespWriter(w io.Writer, bufBytes int) *respWriter {
@@ -211,14 +216,14 @@ func (w *respWriter) writeError(msg string) error {
 
 func (w *respWriter) writeInt(n int64) error {
 	w.bw.WriteByte(':')
-	w.bw.WriteString(strconv.FormatInt(n, 10))
+	w.bw.Write(strconv.AppendInt(w.num[:0], n, 10))
 	_, err := w.bw.WriteString("\r\n")
 	return err
 }
 
 func (w *respWriter) writeBulk(b []byte) error {
 	w.bw.WriteByte('$')
-	w.bw.WriteString(strconv.Itoa(len(b)))
+	w.bw.Write(strconv.AppendInt(w.num[:0], int64(len(b)), 10))
 	w.bw.WriteString("\r\n")
 	w.bw.Write(b)
 	_, err := w.bw.WriteString("\r\n")
@@ -232,7 +237,7 @@ func (w *respWriter) writeNil() error {
 
 func (w *respWriter) writeArrayHeader(n int) error {
 	w.bw.WriteByte('*')
-	w.bw.WriteString(strconv.Itoa(n))
+	w.bw.Write(strconv.AppendInt(w.num[:0], int64(n), 10))
 	_, err := w.bw.WriteString("\r\n")
 	return err
 }

@@ -132,6 +132,26 @@ func TestWriterEncodings(t *testing.T) {
 	}
 }
 
+// Reply encoding must not allocate per element: integer headers format
+// into the writer's scratch array, so an MGET reply costs zero
+// allocations per key no matter how many keys the client asks for.
+func TestWriterZeroAllocs(t *testing.T) {
+	w := newRespWriter(io.Discard, 1<<20)
+	val := bytes.Repeat([]byte("v"), 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		w.writeArrayHeader(16)
+		for i := 0; i < 16; i++ {
+			w.writeBulk(val)
+		}
+		w.writeInt(1234567890)
+		w.writeNil()
+		w.flush()
+	})
+	if allocs != 0 {
+		t.Fatalf("reply encoding allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 // The reader must never allocate a huge buffer just because a frame
 // header promises one: limits apply before allocation.
 func TestReaderBoundsAllocation(t *testing.T) {

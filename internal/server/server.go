@@ -15,6 +15,8 @@
 //	GET k                 SET k v
 //	DEL k [k ...]         EXISTS k [k ...]
 //	MGET k [k ...]        MSET k v [k v ...]
+//	MULTI / EXEC          queue commands, then run them as one batch
+//	DISCARD               abort a MULTI block
 //	SCAN start count      range scan (Prism-style: start key + limit,
 //	                      flat key,value,... array — not Redis cursors)
 //	DBSIZE                INFO
@@ -23,6 +25,14 @@
 // Pipelining: commands are executed in arrival order and replies are
 // buffered (bounded by Config.WriteBufBytes) until the input buffer
 // drains, so a deep pipeline costs one flush, not one per command.
+//
+// Batching: MSET maps to the store's PutBatch and MGET to MultiGet, so a
+// multi-key command enters the epoch once instead of once per key. A
+// MULTI/EXEC block goes further: EXEC holds the connection's thread slot
+// for the whole block and coalesces consecutive SETs into one PutBatch
+// and consecutive GETs into one MultiGet. Blocks are isolated from other
+// connections on the same slot but are not atomic under crashes — a
+// crash mid-EXEC durably keeps a prefix of the block (see core.PutBatch).
 package server
 
 import (
@@ -54,6 +64,10 @@ type Config struct {
 	// DefaultMaxArgs / DefaultMaxBulk.
 	MaxArgs      int
 	MaxBulkBytes int
+	// MaxMultiQueued caps commands queued inside one MULTI block; the
+	// block is marked aborted past the cap, so a client cannot buffer
+	// unbounded command memory server-side. Default 1024.
+	MaxMultiQueued int
 }
 
 func (c *Config) applyDefaults() {
@@ -72,12 +86,60 @@ func (c *Config) applyDefaults() {
 	if c.MaxBulkBytes == 0 {
 		c.MaxBulkBytes = DefaultMaxBulk
 	}
+	if c.MaxMultiQueued == 0 {
+		c.MaxMultiQueued = 1024
+	}
 }
 
 // lockedThread serializes the connections pinned to one store thread.
 type lockedThread struct {
 	mu sync.Mutex
 	th *core.Thread
+}
+
+// queuedCmd is one command held in a MULTI block, with its verb already
+// uppercased so EXEC's run-coalescing compares cheaply.
+type queuedCmd struct {
+	verb string
+	args [][]byte
+}
+
+// session is one connection's dispatch state: the pinned thread slot,
+// the MULTI transaction queue, and scratch slices reused across commands
+// so steady-state MGET/MSET/EXEC dispatch does not allocate per key.
+type session struct {
+	slot    *lockedThread
+	inMulti bool
+	txDirty bool // a queue-time error poisons the block: EXEC aborts
+	queued  []queuedCmd
+
+	kvs  []core.KV // PutBatch scratch (MSET, EXEC SET runs)
+	keys [][]byte  // MultiGet key scratch (EXEC GET runs)
+	vals [][]byte  // MultiGet value scratch (MGET, EXEC GET runs)
+}
+
+// resetScratch drops references into command frames and store values so
+// the retained capacity cannot pin freed payloads.
+func (c *session) resetScratch() {
+	for i := range c.kvs {
+		c.kvs[i] = core.KV{}
+	}
+	c.kvs = c.kvs[:0]
+	for i := range c.keys {
+		c.keys[i] = nil
+	}
+	c.keys = c.keys[:0]
+	for i := range c.vals {
+		c.vals[i] = nil
+	}
+	c.vals = c.vals[:0]
+}
+
+// resetTx clears the MULTI state after EXEC, DISCARD, or connection end.
+func (c *session) resetTx() {
+	c.inMulti = false
+	c.txDirty = false
+	c.queued = c.queued[:0]
 }
 
 // Server is a RESP2 front end over one store. Create with New; at most
@@ -238,7 +300,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
 
-	slot := s.threads[(s.next.Add(1)-1)%uint64(len(s.threads))]
+	sess := &session{slot: s.threads[(s.next.Add(1)-1)%uint64(len(s.threads))]}
 	r := newRespReader(&countingReader{r: conn, n: s.m.bytesIn}, s.cfg.MaxArgs, s.cfg.MaxBulkBytes)
 	w := newRespWriter(&countingWriter{w: conn, n: s.m.bytesOut}, s.cfg.WriteBufBytes)
 
@@ -261,7 +323,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(args) == 0 {
 			continue
 		}
-		quit := s.dispatch(slot, w, args)
+		quit := s.dispatch(sess, w, args)
 		// Flush only once the pipeline drains: replies to back-to-back
 		// commands share one write.
 		if !r.buffered() {
@@ -277,7 +339,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // dispatch executes one command and writes its reply. It returns true
 // when the connection should close (QUIT).
-func (s *Server) dispatch(slot *lockedThread, w *respWriter, args [][]byte) (quit bool) {
+func (s *Server) dispatch(sess *session, w *respWriter, args [][]byte) (quit bool) {
 	verb := strings.ToUpper(string(args[0]))
 	s.countCommand(verb)
 	wall0 := time.Now()
@@ -285,6 +347,187 @@ func (s *Server) dispatch(slot *lockedThread, w *respWriter, args [][]byte) (qui
 		s.m.wallLat.Record(time.Since(wall0).Nanoseconds())
 	}()
 
+	// Transaction control verbs run immediately even inside a block.
+	switch verb {
+	case "MULTI":
+		if sess.inMulti {
+			w.writeError("ERR MULTI calls can not be nested")
+			return false
+		}
+		sess.inMulti = true
+		w.writeSimple("OK")
+		return false
+	case "EXEC":
+		if !sess.inMulti {
+			w.writeError("ERR EXEC without MULTI")
+			return false
+		}
+		if sess.txDirty {
+			sess.resetTx()
+			w.writeError("EXECABORT Transaction discarded because of previous errors.")
+			return false
+		}
+		s.execMulti(sess, w)
+		sess.resetTx()
+		return false
+	case "DISCARD":
+		if !sess.inMulti {
+			w.writeError("ERR DISCARD without MULTI")
+			return false
+		}
+		sess.resetTx()
+		w.writeSimple("OK")
+		return false
+	case "QUIT":
+		w.writeSimple("OK")
+		return true
+	}
+
+	if sess.inMulti {
+		// Queue-time validation, Redis-style: an unknown verb or bad
+		// arity replies immediately and poisons the block, so EXEC can
+		// trust every queued frame (the SET/GET coalescer indexes args
+		// without re-checking).
+		if msg := queueCheck(verb, len(args)); msg != "" {
+			sess.txDirty = true
+			w.writeError(msg)
+			return false
+		}
+		if len(sess.queued) >= s.cfg.MaxMultiQueued {
+			sess.txDirty = true
+			w.writeError(fmt.Sprintf("ERR MULTI queue exceeds %d commands", s.cfg.MaxMultiQueued))
+			return false
+		}
+		// args' bulk strings are freshly allocated by the parser, so
+		// retaining them until EXEC is safe.
+		sess.queued = append(sess.queued, queuedCmd{verb: verb, args: args})
+		w.writeSimple("QUEUED")
+		return false
+	}
+
+	switch verb {
+	case "GET", "SET", "DEL", "EXISTS", "MGET", "MSET", "SCAN":
+		slot := sess.slot
+		slot.mu.Lock()
+		th := slot.th
+		v0 := th.Clk.Now()
+		s.execStore(sess, th, w, verb, args)
+		s.m.virtLat.Record(th.Clk.Now() - v0)
+		slot.mu.Unlock()
+	default:
+		s.execSimple(w, verb, args)
+	}
+	return false
+}
+
+// queueCheck validates a verb and its arity at MULTI queue time. It
+// returns the error reply for a rejected command, or "" to queue it.
+func queueCheck(verb string, n int) string {
+	switch verb {
+	case "PING", "COMMAND", "INFO", "DBSIZE":
+		return ""
+	case "ECHO", "GET":
+		if n != 2 {
+			return "ERR wrong number of arguments for '" + strings.ToLower(verb) + "' command"
+		}
+	case "SET":
+		if n != 3 {
+			return "ERR wrong number of arguments for 'set' command"
+		}
+	case "DEL", "EXISTS", "MGET":
+		if n < 2 {
+			return "ERR wrong number of arguments for '" + strings.ToLower(verb) + "' command"
+		}
+	case "MSET":
+		if n < 3 || n%2 != 1 {
+			return "ERR wrong number of arguments for 'mset' command"
+		}
+	case "SCAN":
+		if n != 3 {
+			return "ERR usage: SCAN <start-key> <count>"
+		}
+	default:
+		return fmt.Sprintf("ERR unknown command '%s'", strings.ToLower(verb))
+	}
+	return ""
+}
+
+// execMulti runs a validated MULTI block. The thread slot is held for
+// the whole block — commands from other connections pinned to the same
+// store thread cannot interleave — and adjacent same-verb commands
+// coalesce into the store's batch operations: a run of SETs becomes one
+// PutBatch (one epoch entry, one publish window) and a run of GETs one
+// MultiGet (merged VS read extents).
+func (s *Server) execMulti(sess *session, w *respWriter) {
+	s.m.multiExec.Inc()
+	q := sess.queued
+	w.writeArrayHeader(len(q))
+	slot := sess.slot
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	th := slot.th
+	v0 := th.Clk.Now()
+	defer func() {
+		s.m.virtLat.Record(th.Clk.Now() - v0)
+	}()
+
+	for i := 0; i < len(q); {
+		switch q[i].verb {
+		case "SET":
+			j := i
+			sess.kvs = sess.kvs[:0]
+			for j < len(q) && q[j].verb == "SET" {
+				sess.kvs = append(sess.kvs, core.KV{Key: q[j].args[1], Value: q[j].args[2]})
+				j++
+			}
+			if err := th.PutBatch(sess.kvs); err != nil {
+				// PutBatch applies a prefix before failing and does not
+				// report its length, so the whole run reports the error.
+				for k := i; k < j; k++ {
+					w.writeError("ERR " + err.Error())
+				}
+			} else {
+				for k := i; k < j; k++ {
+					w.writeSimple("OK")
+				}
+			}
+			i = j
+		case "GET":
+			j := i
+			sess.keys = sess.keys[:0]
+			for j < len(q) && q[j].verb == "GET" {
+				sess.keys = append(sess.keys, q[j].args[1])
+				j++
+			}
+			vals, err := th.MultiGetInto(sess.keys, sess.vals[:0])
+			sess.vals = vals
+			if err != nil {
+				for k := i; k < j; k++ {
+					w.writeError("ERR " + err.Error())
+				}
+			} else {
+				for _, v := range vals {
+					if v == nil {
+						w.writeNil()
+					} else {
+						w.writeBulk(v)
+					}
+				}
+			}
+			i = j
+		case "DEL", "EXISTS", "MGET", "MSET", "SCAN":
+			s.execStore(sess, th, w, q[i].verb, q[i].args)
+			i++
+		default:
+			s.execSimple(w, q[i].verb, q[i].args)
+			i++
+		}
+	}
+	sess.resetScratch()
+}
+
+// execSimple handles the commands that do not touch a store thread.
+func (s *Server) execSimple(w *respWriter, verb string, args [][]byte) {
 	switch verb {
 	case "PING":
 		if len(args) > 1 {
@@ -295,12 +538,9 @@ func (s *Server) dispatch(slot *lockedThread, w *respWriter, args [][]byte) (qui
 	case "ECHO":
 		if len(args) != 2 {
 			w.writeError("ERR wrong number of arguments for 'echo' command")
-			return false
+			return
 		}
 		w.writeBulk(args[1])
-	case "QUIT":
-		w.writeSimple("OK")
-		return true
 	case "COMMAND":
 		// Stock clients probe COMMAND on connect; an empty array keeps
 		// them happy without a command table.
@@ -309,25 +549,14 @@ func (s *Server) dispatch(slot *lockedThread, w *respWriter, args [][]byte) (qui
 		w.writeBulk([]byte(s.info()))
 	case "DBSIZE":
 		w.writeInt(int64(s.store.Len()))
-	case "GET", "SET", "DEL", "EXISTS", "MGET", "MSET", "SCAN":
-		s.dispatchStore(slot, w, verb, args)
 	default:
 		w.writeError(fmt.Sprintf("ERR unknown command '%s'", strings.ToLower(verb)))
 	}
-	return false
 }
 
-// dispatchStore runs the store-backed commands under the connection's
-// thread slot, recording virtual-time latency from the thread clock.
-func (s *Server) dispatchStore(slot *lockedThread, w *respWriter, verb string, args [][]byte) {
-	slot.mu.Lock()
-	defer slot.mu.Unlock()
-	th := slot.th
-	v0 := th.Clk.Now()
-	defer func() {
-		s.m.virtLat.Record(th.Clk.Now() - v0)
-	}()
-
+// execStore runs one store-backed command on th. The caller holds the
+// slot mutex and records virtual-time latency around the call.
+func (s *Server) execStore(sess *session, th *core.Thread, w *respWriter, verb string, args [][]byte) {
 	switch verb {
 	case "GET":
 		if len(args) != 2 {
@@ -389,25 +618,39 @@ func (s *Server) dispatchStore(slot *lockedThread, w *respWriter, verb string, a
 			w.writeError("ERR wrong number of arguments for 'mget' command")
 			return
 		}
-		w.writeArrayHeader(len(args) - 1)
-		for _, k := range args[1:] {
-			val, err := th.Get(k)
-			if err == nil {
-				w.writeBulk(val)
-			} else {
+		// One MultiGet instead of a Get per key: one epoch entry, VS
+		// reads merged into extents. Values land in the connection's
+		// scratch slice, so steady-state MGET allocates nothing per key
+		// beyond the value copies themselves.
+		vals, err := th.MultiGetInto(args[1:], sess.vals[:0])
+		sess.vals = vals
+		if err != nil {
+			w.writeError("ERR " + err.Error())
+			return
+		}
+		w.writeArrayHeader(len(vals))
+		for _, v := range vals {
+			if v == nil {
 				w.writeNil()
+			} else {
+				w.writeBulk(v)
 			}
 		}
+		sess.resetScratch()
 	case "MSET":
 		if len(args) < 3 || len(args)%2 != 1 {
 			w.writeError("ERR wrong number of arguments for 'mset' command")
 			return
 		}
+		sess.kvs = sess.kvs[:0]
 		for i := 1; i < len(args); i += 2 {
-			if err := th.Put(args[i], args[i+1]); err != nil {
-				w.writeError("ERR " + err.Error())
-				return
-			}
+			sess.kvs = append(sess.kvs, core.KV{Key: args[i], Value: args[i+1]})
+		}
+		err := th.PutBatch(sess.kvs)
+		sess.resetScratch()
+		if err != nil {
+			w.writeError("ERR " + err.Error())
+			return
 		}
 		w.writeSimple("OK")
 	case "SCAN":

@@ -27,12 +27,21 @@ import (
 	"sync/atomic"
 )
 
-// Entry is one cached value. Key, Value, HSITIdx are immutable after
-// creation; list and chain links are owned by the manager goroutine.
+// Entry is one cached value. Key, Value, HSITIdx, Ver are immutable
+// after creation; list and chain links are owned by the manager
+// goroutine.
 type Entry struct {
 	HSITIdx uint64
 	Key     []byte
 	Value   []byte
+
+	// Ver is the caller's opaque currency token (the HSIT entry's
+	// publish version observed when the value was read). Lookup hands it
+	// back so readers can check the entry is still current: a cached
+	// value is valid only while no publish has happened since — a check
+	// the forward pointer itself cannot provide, because recycled
+	// offsets can make a stale pointer bit-identical to the current one.
+	Ver uint64
 
 	slot uint32
 	gen  uint32
@@ -144,16 +153,20 @@ func (c *Cache) Close() {
 }
 
 // Lookup resolves a handle read from HSIT word 1. It returns the entry's
-// value if the handle is still current and enqueues a touch event for 2Q
-// promotion. The returned slice is immutable — callers must copy before
-// handing it to users.
-func (c *Cache) Lookup(hsitIdx, handle uint64) ([]byte, bool) {
+// value and admission version if the handle is still current, and
+// enqueues a touch event for 2Q promotion. Callers MUST compare ver with
+// the HSIT entry's current publish version before using the value: a
+// handle can transiently point at a superseded value (an in-flight
+// admission that lost its race, or a GC/rewrite relocation) and only the
+// version check detects it. The returned slice is immutable — callers
+// must copy before handing it to users.
+func (c *Cache) Lookup(hsitIdx, handle uint64) (val []byte, ver uint64, ok bool) {
 	e := c.resolve(hsitIdx, handle)
 	if e == nil {
-		return nil, false
+		return nil, 0, false
 	}
 	c.post(event{kind: evTouch, entry: e}, false)
-	return e.Value, true
+	return e.Value, e.Ver, true
 }
 
 func (c *Cache) resolve(hsitIdx, handle uint64) *Entry {
@@ -171,11 +184,13 @@ func (c *Cache) resolve(hsitIdx, handle uint64) *Entry {
 	return e
 }
 
-// Admit allocates an entry for a value just read from Value Storage. The
-// caller must then publish e.Handle() in HSIT word 1 (CAS from 0) and
-// call Published on success or AbortAdmit if it lost the race (§4.4:
-// values are admitted only on SSD reads, published atomically).
-func (c *Cache) Admit(hsitIdx uint64, key, value []byte) *Entry {
+// Admit allocates an entry for a value just read from Value Storage
+// under publish version ver (opaque to the cache; readers compare it on
+// Lookup). The caller must then publish e.Handle() in HSIT word 1 (CAS
+// from 0) and call Published on success or AbortAdmit if it lost the
+// race (§4.4: values are admitted only on SSD reads, published
+// atomically).
+func (c *Cache) Admit(hsitIdx, ver uint64, key, value []byte) *Entry {
 	c.mu.Lock()
 	var slot uint32
 	if n := len(c.frees); n > 0 {
@@ -190,6 +205,7 @@ func (c *Cache) Admit(hsitIdx uint64, key, value []byte) *Entry {
 		HSITIdx: hsitIdx,
 		Key:     append([]byte(nil), key...),
 		Value:   append([]byte(nil), value...),
+		Ver:     ver,
 		slot:    slot,
 		gen:     c.gens[slot],
 	}

@@ -44,10 +44,15 @@ func newCache(t *testing.T, capacity int64, onEvict func(EvictedChain)) (*Cache,
 
 func f_cas(h *fakeHSIT, idx, handle uint64) bool { return h.cas(idx, handle, 0) }
 
-// admit publishes an entry the way the engine does.
+// verOf is the admission version token the admit helper records for idx
+// (opaque to the cache; it only round-trips through Lookup).
+func verOf(idx uint64) uint64 { return idx + 1000 }
+
+// admit publishes an entry the way the engine does. The admission
+// location is derived from idx so tests can verify the round trip.
 func admit(t *testing.T, c *Cache, h *fakeHSIT, idx uint64, key, val string) *Entry {
 	t.Helper()
-	e := c.Admit(idx, []byte(key), []byte(val))
+	e := c.Admit(idx, verOf(idx), []byte(key), []byte(val))
 	if !h.cas(idx, 0, e.Handle()) {
 		c.AbortAdmit(e)
 		t.Fatalf("publish race for %d", idx)
@@ -59,9 +64,12 @@ func admit(t *testing.T, c *Cache, h *fakeHSIT, idx uint64, key, val string) *En
 func TestAdmitLookup(t *testing.T) {
 	c, h := newCache(t, 1<<20, nil)
 	e := admit(t, c, h, 1, "k1", "v1")
-	got, ok := c.Lookup(1, e.Handle())
+	got, ver, ok := c.Lookup(1, e.Handle())
 	if !ok || string(got) != "v1" {
 		t.Fatalf("Lookup = %q, %v", got, ok)
+	}
+	if ver != verOf(1) {
+		t.Fatalf("Lookup ver = %d, want %d", ver, verOf(1))
 	}
 	c.Sync()
 	st := c.Stats()
@@ -81,10 +89,10 @@ func TestLookupRejectsStaleHandle(t *testing.T) {
 	if e2.slot != e.slot {
 		t.Skip("slot not recycled; cannot test generation check")
 	}
-	if _, ok := c.Lookup(1, handle); ok {
+	if _, _, ok := c.Lookup(1, handle); ok {
 		t.Fatal("stale handle resolved after slot recycle")
 	}
-	if _, ok := c.Lookup(2, e2.Handle()); !ok {
+	if _, _, ok := c.Lookup(2, e2.Handle()); !ok {
 		t.Fatal("fresh handle failed")
 	}
 }
@@ -92,20 +100,20 @@ func TestLookupRejectsStaleHandle(t *testing.T) {
 func TestLookupRejectsWrongHSITIdx(t *testing.T) {
 	c, h := newCache(t, 1<<20, nil)
 	e := admit(t, c, h, 5, "k", "v")
-	if _, ok := c.Lookup(6, e.Handle()); ok {
+	if _, _, ok := c.Lookup(6, e.Handle()); ok {
 		t.Fatal("lookup with mismatched HSIT index succeeded")
 	}
 }
 
 func TestAbortAdmitFreesSlot(t *testing.T) {
 	c, _ := newCache(t, 1<<20, nil)
-	e := c.Admit(1, []byte("k"), []byte("v"))
+	e := c.Admit(1, verOf(1), []byte("k"), []byte("v"))
 	c.AbortAdmit(e)
 	c.Sync()
 	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
 		t.Fatalf("stats after abort = %+v", st)
 	}
-	if _, ok := c.Lookup(1, e.Handle()); ok {
+	if _, _, ok := c.Lookup(1, e.Handle()); ok {
 		t.Fatal("aborted entry resolvable")
 	}
 }
@@ -131,7 +139,7 @@ func TestEvictionAtCapacityUnpublishes(t *testing.T) {
 	}
 	// The most recent entry must survive.
 	last := entries[len(entries)-1]
-	if _, ok := c.Lookup(last.HSITIdx, last.Handle()); !ok {
+	if _, _, ok := c.Lookup(last.HSITIdx, last.Handle()); !ok {
 		t.Fatal("most recent entry evicted")
 	}
 }
@@ -148,7 +156,7 @@ func Test2QPromotionProtectsHotEntries(t *testing.T) {
 		admit(t, c, h, i, fmt.Sprintf("cold%02d", i), "dddd")
 	}
 	c.Sync()
-	if _, ok := c.Lookup(999, hot.Handle()); !ok {
+	if _, _, ok := c.Lookup(999, hot.Handle()); !ok {
 		t.Fatal("promoted hot entry was evicted by cold scan flood")
 	}
 }
@@ -240,11 +248,11 @@ func TestConcurrentLookupsAndAdmissions(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 300; i++ {
 				idx := uint64(w*1000 + i)
-				e := c.Admit(idx, []byte(fmt.Sprintf("k%d", idx)), []byte("val"))
+				e := c.Admit(idx, verOf(idx), []byte(fmt.Sprintf("k%d", idx)), []byte("val"))
 				if h.cas(idx, 0, e.Handle()) {
 					c.Published(e)
-					if v, ok := c.Lookup(idx, e.Handle()); ok && string(v) != "val" {
-						t.Errorf("bad value %q", v)
+					if v, loc, ok := c.Lookup(idx, e.Handle()); ok && (string(v) != "val" || loc != verOf(idx)) {
+						t.Errorf("bad value %q loc %d", v, loc)
 					}
 				} else {
 					c.AbortAdmit(e)

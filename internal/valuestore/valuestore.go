@@ -239,7 +239,11 @@ func (s *Store) allocChunk(reserve int) (int, error) {
 // that key's current committed value, which is a linearizable result for
 // the read. (Deferring recycling by epochs is also correct but lets the
 // free-chunk count lag reality by two epochs, which starves and
-// over-drives GC under pressure.)
+// over-drives GC under pressure.) Note the coincidence argument covers
+// only the overlapping read itself: a reader that read the OLD bytes just
+// before the recycle must not publish them anywhere later reads can see
+// them, which is why SVC admission is guarded by the HSIT publish
+// version, not by pointer-word equality.
 func (s *Store) releaseChunk(idx int) {
 	s.chunks[idx].reset()
 	s.chunks[idx].state.Store(chunkFree)

@@ -32,6 +32,12 @@
 //	v, err := t.Get([]byte("k"))
 //	t.Scan([]byte("a"), 10, func(kv prism.KV) bool { ...; return true })
 //
+//	// Batch forms amortize the epoch toll: one critical section, one
+//	// PWB publish window / merged read pass per batch. PutBatch is
+//	// prefix-durable under crashes, not atomic.
+//	t.PutBatch([]prism.KV{{Key: k1, Value: v1}, {Key: k2, Value: v2}})
+//	vals, err := t.MultiGet([][]byte{k1, k2}) // nil entry = missing key
+//
 // Thread handles are not safe for concurrent use; distinct handles run
 // in parallel and scale with the paper's cross-storage concurrency
 // control.
