@@ -18,12 +18,15 @@ test:
 # The race target is strict — no skips, no quarantines: the seed
 # reclamation/publish race is fixed (see ROADMAP "RESOLVED (PR 3)") and
 # TestPWBReclaimPublishStress in internal/core is its permanent
-# regression gate. internal/bench's full Fig 7 matrix exceeds CI
-# timeouts under the detector's ~20x slowdown, so that one package
-# contributes a bounded concurrent-load smoke instead of its whole
-# suite; every other package runs in full.
+# regression gate; TestShardBatchFanoutStress in internal/shard is the
+# equivalent gate for the cross-shard batch fan-out (re-run explicitly
+# with -count=1 so a cached pass can never mask it). internal/bench's
+# full Fig 7 matrix exceeds CI timeouts under the detector's ~20x
+# slowdown, so that one package contributes a bounded concurrent-load
+# smoke instead of its whole suite; every other package runs in full.
 race:
 	$(GO) test -race $$($(GO) list ./... | grep -v internal/bench)
+	$(GO) test -race -count=1 -run 'TestShardBatchFanoutStress$$' ./internal/shard
 	$(GO) test -race -count=1 -run 'TestDiagPrismLoad$$' ./internal/bench
 
 # fmt-check fails (listing the files) if any file needs gofmt.
@@ -47,9 +50,11 @@ bench:
 # bench-smoke runs the Put benchmarks once: benchmark code can never
 # silently rot, and the job log shows the batch-vs-single comparison
 # (BenchmarkPut's epoch-enters/op = 1.0 vs BenchmarkPutBatch/size=32's
-# amortized fraction) at a longer benchtime so the counters are stable.
+# amortized fraction) and the sharding scale-out comparison
+# (BenchmarkPutSharded's virt-Kops/s at shards=1 vs shards=4) at a
+# longer benchtime so the counters are stable.
 bench-smoke:
-	$(GO) test -bench='BenchmarkPut($$|Batch)' -benchtime=1000x -run '^$$' .
+	$(GO) test -bench='BenchmarkPut($$|Batch|Sharded)' -benchtime=1000x -run '^$$' .
 
 # fuzz-smoke runs a short fuzz pass over the RESP parser.
 fuzz-smoke:

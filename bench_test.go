@@ -12,6 +12,7 @@ package prism_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	prism "repro"
@@ -86,6 +87,60 @@ func BenchmarkPutBatch(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric((epochEnters(store)-e0)/float64(b.N), "epoch-enters/op")
+		})
+	}
+}
+
+// BenchmarkPutSharded drives the same multi-writer Put load through one
+// store and through a 4-shard router. Each writer owns a Thread handle,
+// so the only coupling is the simulated hardware: on one store all
+// writers queue on a single NVM append channel; four shards mean four
+// device sets. The virt-Kops/s metric is aggregate ops over the
+// makespan across thread clocks — the shards=4 row must come out well
+// above 2.5x the shards=1 row (the sharding acceptance gate, asserted
+// in internal/shard's TestShardScaleSpeedup).
+func BenchmarkPutSharded(b *testing.B) {
+	const writers = 4
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			store, err := prism.Open(prism.Options{
+				NumThreads:        writers,
+				Shards:            shards,
+				PWBBytesPerThread: 8 << 20,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			val := make([]byte, 1024)
+			per := (b.N + writers - 1) / writers
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := store.Thread(w)
+					for i := 0; i < per; i++ {
+						key := []byte(fmt.Sprintf("w%d-%08d", w, i%10000))
+						if err := th.Put(key, val); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			var makespan int64
+			for w := 0; w < writers; w++ {
+				if now := store.Thread(w).Clk.Now(); now > makespan {
+					makespan = now
+				}
+			}
+			if makespan > 0 {
+				b.ReportMetric(float64(writers*per)/(float64(makespan)/1e6), "virt-Kops/s")
+			}
 		})
 	}
 }

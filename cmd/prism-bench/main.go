@@ -17,14 +17,19 @@
 //	-ops N       measured operations (default 20000)
 //	-value N     value size in bytes (default 1024)
 //	-zipf F      zipfian coefficient (default 0.99)
+//	-shards N    run Prism as N independent stores behind the hash router
+//	             (default 1; see the shardscale experiment for a sweep)
 //
 // Observability (METRICS.md):
 //
-//	-metrics            after the tables, print one JSON document with the
+//	-metrics            after the tables, print one document with the
 //	                    final obs snapshot of every Prism store the
-//	                    experiments opened (the last line of output)
+//	                    experiments opened (the last lines of output)
+//	-metrics-format F   snapshot format: json (default) or prom
+//	                    (Prometheus/OpenMetrics text)
 //	-metrics-every MS   additionally sample every metric each MS of
-//	                    virtual time (a Fig-17-style timeline per capture)
+//	                    virtual time (a Fig-17-style timeline per capture,
+//	                    JSON only)
 package main
 
 import (
@@ -48,11 +53,17 @@ func main() {
 		zipf    = flag.Float64("zipf", 0.99, "zipfian coefficient")
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		batch   = flag.Int("batch", 1, "group consecutive same-kind ops into PutBatch/MultiGet windows of this size")
+		shards  = flag.Int("shards", 1, "run Prism as this many independent stores behind the hash router")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		metrics = flag.Bool("metrics", false, "print a final metrics-snapshot JSON document (see METRICS.md)")
+		metrics = flag.Bool("metrics", false, "print a final metrics-snapshot document (see METRICS.md)")
+		mformat = flag.String("metrics-format", "json", "metrics output format: json or prom")
 		every   = flag.Int64("metrics-every", 0, "also sample metrics every N virtual ms (implies -metrics)")
 	)
 	flag.Parse()
+	if *mformat != "json" && *mformat != "prom" {
+		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (json or prom)\n", *mformat)
+		os.Exit(1)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")
@@ -73,6 +84,7 @@ func main() {
 		Zipfian:   *zipf,
 		Seed:      *seed,
 		Batch:     *batch,
+		Shards:    *shards,
 	}
 	var mc *bench.MetricsCollector
 	if *metrics || *every > 0 {
@@ -106,8 +118,13 @@ func main() {
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 	if mc != nil {
-		// The JSON document is the last thing printed, so scripts can
-		// extract it with e.g. `awk '/^{/,0'`.
-		fmt.Println(mc.JSON())
+		// The metrics document is the last thing printed, so scripts can
+		// extract it with e.g. `awk '/^{/,0'` (json) or `awk '/^# /,0'`
+		// (prom).
+		if *mformat == "prom" {
+			fmt.Print(mc.OpenMetrics())
+		} else {
+			fmt.Println(mc.JSON())
+		}
 	}
 }

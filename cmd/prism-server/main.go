@@ -17,6 +17,8 @@
 //	-pwb-bytes N  persistent write buffer per thread (default 1 MiB)
 //	-svc-bytes N  DRAM value-cache budget (default 16 MiB)
 //	-keys N       HSIT capacity = max live keys (default 1<<20)
+//	-shards N     independent store shards behind the hash router
+//	              (default 1; every shard gets the full sizing above)
 //
 // Server behavior:
 //
@@ -24,6 +26,8 @@
 //	-idle-timeout D   per-connection idle timeout (default 5m)
 //	-drain-timeout D  graceful-shutdown budget on SIGINT/SIGTERM (default 5s)
 //	-metrics          dump the final obs snapshot as JSON on shutdown
+//	-metrics-addr A   also serve the live snapshot in Prometheus text
+//	                  format over HTTP at A (e.g. :9190) under /metrics
 //
 // On SIGINT/SIGTERM the server drains: in-flight pipelines finish, then
 // connections close and the store shuts down cleanly.
@@ -32,6 +36,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,10 +55,12 @@ func main() {
 		pwbBytes     = flag.Int("pwb-bytes", 1<<20, "persistent write buffer per thread")
 		svcBytes     = flag.Int64("svc-bytes", 16<<20, "DRAM value-cache budget")
 		keys         = flag.Int("keys", 1<<20, "HSIT capacity (max live keys)")
+		shards       = flag.Int("shards", 1, "independent store shards behind the hash router")
 		maxConns     = flag.Int("max-conns", 256, "max concurrent client connections")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget")
 		metrics      = flag.Bool("metrics", false, "dump the final metrics snapshot as JSON on shutdown")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus-format metrics over HTTP at this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -64,10 +71,25 @@ func main() {
 		NumSSDs:           *ssds,
 		SSDBytes:          *ssdBytes,
 		SVCBytes:          *svcBytes,
+		Shards:            *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			store.Metrics().WriteOpenMetrics(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics-addr:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
 	}
 
 	srv := server.New(store, server.Config{
@@ -92,7 +114,7 @@ func main() {
 		}
 	}
 	if a := srv.Addr(); a != nil {
-		fmt.Printf("prism-server listening on %s (%d store threads, %d SSDs)\n", a, *threads, *ssds)
+		fmt.Printf("prism-server listening on %s (%d shards, %d store threads, %d SSDs per shard)\n", a, *shards, *threads, *ssds)
 	}
 
 	select {

@@ -5,11 +5,15 @@
 //	ycsb-run -engine prism -workload C -threads 8 -records 20000 -ops 50000
 //	ycsb-run -engine kvell -workload E -zipf 1.2
 //	ycsb-run -engine prism -workload A -metrics   # + JSON metrics snapshot
+//	ycsb-run -engine prism -workload A -shards 4  # sharded scale-out
 //
 // Engines: prism, kvell, matrixkv, rocksdb-nvm, slm-db.
 // Workloads: L (load only), A, B, C, D, E, N (Nutanix mix).
+// -shards N runs Prism as N independent stores behind the hash router
+// (baselines ignore it).
 // -metrics prints the store's final obs snapshot (METRICS.md) as the last
-// output, as one JSON document; baselines without a registry print {}.
+// output; -metrics-format selects json (default) or prom (Prometheus
+// text). Baselines without a registry print {} / nothing.
 package main
 
 import (
@@ -33,9 +37,15 @@ func main() {
 		zipf       = flag.Float64("zipf", 0.99, "zipfian coefficient")
 		seed       = flag.Uint64("seed", 42, "workload seed")
 		batch      = flag.Int("batch", 1, "group consecutive same-kind ops into PutBatch/MultiGet windows of this size")
-		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot as JSON (see METRICS.md)")
+		shards     = flag.Int("shards", 1, "run Prism as this many independent stores behind the hash router")
+		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot (see METRICS.md)")
+		mformat    = flag.String("metrics-format", "json", "metrics output format: json or prom")
 	)
 	flag.Parse()
+	if *mformat != "json" && *mformat != "prom" {
+		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (json or prom)\n", *mformat)
+		os.Exit(1)
+	}
 
 	w := ycsb.Workload(strings.ToUpper(*workload)[0])
 	switch w {
@@ -53,6 +63,7 @@ func main() {
 		Threads:   th,
 		Records:   *records,
 		ValueSize: *value,
+		Shards:    *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -82,9 +93,13 @@ func main() {
 			float64(dev)/float64(user), dev, user)
 	}
 	if *metrics {
-		if src, ok := st.(bench.MetricsSource); ok {
+		src, ok := st.(bench.MetricsSource)
+		switch {
+		case ok && *mformat == "prom":
+			src.Metrics().WriteOpenMetrics(os.Stdout)
+		case ok:
 			fmt.Println(src.Metrics().JSON())
-		} else {
+		case *mformat == "json":
 			fmt.Println("{}")
 		}
 	}

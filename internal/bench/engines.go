@@ -34,6 +34,11 @@ type Params struct {
 	ValueSize  int
 	QueueDepth int
 
+	// Shards > 1 opens Prism as that many independent stores behind the
+	// hash router; each shard gets the full scaled sizing below. Only
+	// Prism shards (the baselines ignore it).
+	Shards int
+
 	// PrismMut lets experiments override Prism options (ablations,
 	// sweeps). Applied after scaling.
 	PrismMut func(*core.Options)
@@ -84,6 +89,7 @@ func PrismOptions(p Params) core.Options {
 		ChunkSize:         int(chunk),
 		SVCBytes:          clamp64(ds*20/100, 256<<10, 1<<40),
 		QueueDepth:        p.QueueDepth,
+		Shards:            p.Shards,
 	}
 	if p.PrismMut != nil {
 		p.PrismMut(&opt)

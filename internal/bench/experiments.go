@@ -28,6 +28,9 @@ func runSuite(kinds []string, workloads []ycsb.Workload, p Params, rc RunConfig)
 	out := map[string]map[ycsb.Workload]Result{}
 	for _, kind := range kinds {
 		pk := p
+		if pk.Shards == 0 {
+			pk.Shards = rc.Shards
+		}
 		if kind == EngineSLMDB {
 			pk.Threads = 1 // open-source SLM-DB is single-threaded (§7.4)
 		}
@@ -670,29 +673,67 @@ func Recovery(rc RunConfig) Table {
 	return t
 }
 
+// ShardScale measures horizontal scale-out: the same workload against
+// Prism behind the hash router at increasing shard counts. Each point
+// keeps the full per-shard sizing, so N shards mean N independent
+// device sets — the Valkey-style cluster scaling move, measured in
+// aggregate virtual-time throughput.
+func ShardScale(rc RunConfig) Table {
+	rc.applyDefaults()
+	t := Table{
+		Title:  "Shard scale-out: Prism throughput vs shard count (Kops/sec)",
+		Header: []string{"shards", "LOAD Kops", "YCSB-A Kops", "YCSB-C Kops", "A speedup"},
+		Notes:  []string{"every point keeps the full per-shard sizing: N shards = N independent NVM/SSD sets"},
+	}
+	var base float64
+	for _, n := range []int{1, 2, 4} {
+		p := Params{Threads: rc.Threads, Records: rc.Records, ValueSize: rc.ValueSize, Shards: n}
+		st, err := NewEngine(EnginePrism, p)
+		if err != nil {
+			panic(err)
+		}
+		load := Load(st, EnginePrism, rc)
+		ra := Run(st, EnginePrism, ycsb.WorkloadA, rc)
+		rcc := Run(st, EnginePrism, ycsb.WorkloadC, rc)
+		rc.Metrics.Capture(st, EnginePrism, fmt.Sprintf("shardscale-%d", n), nil)
+		st.Close()
+		a := ra.KOpsPerSec()
+		if n == 1 {
+			base = a
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			f1(load.KOpsPerSec()), f1(a), f1(rcc.KOpsPerSec()),
+			fmt.Sprintf("%.2fx", a/base),
+		})
+	}
+	return t
+}
+
 // Experiments maps CLI names to runners printing their tables.
 var Experiments = map[string]func(rc RunConfig) []Table{
 	"fig7": func(rc RunConfig) []Table {
 		t, _ := Fig7(rc)
 		return []Table{t}
 	},
-	"table3":   func(rc RunConfig) []Table { return []Table{Table3(rc)} },
-	"fig8":     func(rc RunConfig) []Table { t, _ := Fig8(rc); return []Table{t} },
-	"table4":   func(rc RunConfig) []Table { return []Table{Table4(rc)} },
-	"fig9":     func(rc RunConfig) []Table { return []Table{Fig9(rc)} },
-	"fig10a":   func(rc RunConfig) []Table { return []Table{Fig10a(rc)} },
-	"fig10b":   func(rc RunConfig) []Table { return []Table{Fig10b(rc)} },
-	"fig11":    func(rc RunConfig) []Table { return []Table{Fig11(rc)} },
-	"fig12":    func(rc RunConfig) []Table { return []Table{Fig12(rc)} },
-	"fig13":    func(rc RunConfig) []Table { return []Table{Fig13(rc)} },
-	"fig14":    func(rc RunConfig) []Table { return []Table{Fig14(rc)} },
-	"fig15a":   func(rc RunConfig) []Table { return []Table{Fig15a(rc)} },
-	"fig15b":   func(rc RunConfig) []Table { return []Table{Fig15b(rc)} },
-	"fig16":    func(rc RunConfig) []Table { return []Table{Fig16(rc)} },
-	"fig17":    func(rc RunConfig) []Table { t, _, _ := Fig17(rc); return []Table{t} },
-	"ablation": func(rc RunConfig) []Table { return []Table{Ablation(rc)} },
-	"nvmspace": func(rc RunConfig) []Table { return []Table{NVMSpace(rc)} },
-	"recovery": func(rc RunConfig) []Table { return []Table{Recovery(rc)} },
+	"table3":     func(rc RunConfig) []Table { return []Table{Table3(rc)} },
+	"fig8":       func(rc RunConfig) []Table { t, _ := Fig8(rc); return []Table{t} },
+	"table4":     func(rc RunConfig) []Table { return []Table{Table4(rc)} },
+	"fig9":       func(rc RunConfig) []Table { return []Table{Fig9(rc)} },
+	"fig10a":     func(rc RunConfig) []Table { return []Table{Fig10a(rc)} },
+	"fig10b":     func(rc RunConfig) []Table { return []Table{Fig10b(rc)} },
+	"fig11":      func(rc RunConfig) []Table { return []Table{Fig11(rc)} },
+	"fig12":      func(rc RunConfig) []Table { return []Table{Fig12(rc)} },
+	"fig13":      func(rc RunConfig) []Table { return []Table{Fig13(rc)} },
+	"fig14":      func(rc RunConfig) []Table { return []Table{Fig14(rc)} },
+	"fig15a":     func(rc RunConfig) []Table { return []Table{Fig15a(rc)} },
+	"fig15b":     func(rc RunConfig) []Table { return []Table{Fig15b(rc)} },
+	"fig16":      func(rc RunConfig) []Table { return []Table{Fig16(rc)} },
+	"fig17":      func(rc RunConfig) []Table { t, _, _ := Fig17(rc); return []Table{t} },
+	"ablation":   func(rc RunConfig) []Table { return []Table{Ablation(rc)} },
+	"nvmspace":   func(rc RunConfig) []Table { return []Table{NVMSpace(rc)} },
+	"recovery":   func(rc RunConfig) []Table { return []Table{Recovery(rc)} },
+	"shardscale": func(rc RunConfig) []Table { return []Table{ShardScale(rc)} },
 }
 
 // ExperimentNames returns the sorted experiment list.

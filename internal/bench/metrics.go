@@ -7,7 +7,9 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/obs"
@@ -95,6 +97,18 @@ func (mc *MetricsCollector) JSON() string {
 		return `{"error":"metrics marshal failed"}`
 	}
 	return string(b)
+}
+
+// OpenMetrics renders every capture's final snapshot in the Prometheus
+// text exposition format, one block per capture tagged by a comment
+// header (timelines are JSON-only).
+func (mc *MetricsCollector) OpenMetrics() string {
+	var b strings.Builder
+	for _, c := range mc.Captures() {
+		fmt.Fprintf(&b, "# capture engine=%q workload=%q\n", c.Engine, c.Workload)
+		c.Snapshot.WriteOpenMetrics(&b)
+	}
+	return b.String()
 }
 
 // flattenSamples converts raw sampler output into MetricSamples, summing

@@ -32,6 +32,10 @@ type RunConfig struct {
 	MaxScanLen int
 	Seed       uint64
 
+	// Shards routes Prism through that many independent stores behind
+	// the hash router (default 1; baselines ignore it).
+	Shards int
+
 	// Batch, when > 1, groups consecutive same-kind operations into
 	// windows of up to Batch and issues them through engine.PutBatch /
 	// engine.MultiGet — native single-epoch batches on Prism, plain

@@ -86,6 +86,14 @@ type Options struct {
 	// a nil-receiver no-op.
 	DisableMetrics bool
 
+	// Shards is consumed by the sharding router above this package
+	// (internal/shard, surfaced as prism.Open): values > 1 open that many
+	// independent core Stores behind one routed front end, each with the
+	// full per-shard resources described by the other fields. core.Open
+	// itself runs exactly one store and rejects Shards > 1 loudly rather
+	// than silently ignoring the request.
+	Shards int
+
 	Seed uint64
 }
 
@@ -214,6 +222,9 @@ type Thread struct {
 // Open creates a Store over fresh simulated devices.
 func Open(opt Options) (*Store, error) {
 	opt.applyDefaults()
+	if opt.Shards > 1 {
+		return nil, errors.New("prism: Shards > 1 requires the sharding router (use prism.Open, not core.Open)")
+	}
 	if opt.NumSSDs > 64 {
 		return nil, errors.New("prism: at most 64 SSDs (global offset encoding)")
 	}

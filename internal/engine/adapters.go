@@ -5,17 +5,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
-// PrismStore adapts core.Store to the engine interface.
+// PrismStore adapts shard.Store (the routed front end over one or more
+// core engines; one shard is a pass-through) to the engine interface.
 type PrismStore struct {
-	S *core.Store
+	S *shard.Store
 }
 
-// NewPrism opens a Prism store as an engine.Store.
+// NewPrism opens a Prism store as an engine.Store; opt.Shards selects
+// the shard count (default one).
 func NewPrism(opt core.Options) (*PrismStore, error) {
-	s, err := core.Open(opt)
+	s, err := shard.Open(opt)
 	if err != nil {
 		return nil, err
 	}
@@ -23,7 +26,7 @@ func NewPrism(opt core.Options) (*PrismStore, error) {
 }
 
 type prismThread struct {
-	t *core.Thread
+	t *shard.Thread
 }
 
 // Thread returns handle i.
@@ -40,12 +43,7 @@ func (p *PrismStore) Close() error { return p.S.Close() }
 func (p *PrismStore) Metrics() obs.Snapshot { return p.S.Metrics() }
 
 // WriteAmp reports (SSD bytes written, user bytes written).
-func (p *PrismStore) WriteAmp() (device, user int64) {
-	for _, d := range p.S.SSDs() {
-		device += d.Stats().BytesWritten
-	}
-	return device, p.S.Stats().UserBytesWritten
-}
+func (p *PrismStore) WriteAmp() (device, user int64) { return p.S.WriteAmp() }
 
 func (t prismThread) Put(key, value []byte) error { return t.t.Put(key, value) }
 
@@ -71,7 +69,8 @@ func (t prismThread) Scan(start []byte, count int, fn func(key, value []byte) bo
 
 func (t prismThread) Clock() *sim.Clock { return t.t.Clk }
 
-// PutBatch implements BatchKV over the core single-epoch batch write.
+// PutBatch implements BatchKV over the routed single-epoch-per-shard
+// batch write.
 func (t prismThread) PutBatch(pairs []Pair) error {
 	kvs := make([]core.KV, len(pairs))
 	for i, p := range pairs {
@@ -80,7 +79,7 @@ func (t prismThread) PutBatch(pairs []Pair) error {
 	return t.t.PutBatch(kvs)
 }
 
-// MultiGet implements BatchKV over the core merged-extent batch read.
+// MultiGet implements BatchKV over the routed merged-extent batch read.
 func (t prismThread) MultiGet(keys [][]byte) ([][]byte, error) {
 	return t.t.MultiGet(keys)
 }

@@ -170,7 +170,8 @@ func (h *Histogram) value() *HistogramValue {
 	if m := h.min.Load(); m != math.MaxInt64 {
 		v.Min = m
 	}
-	v.Mean = float64(h.sum.Load()) / float64(v.Count)
+	v.Sum = h.sum.Load()
+	v.Mean = float64(v.Sum) / float64(v.Count)
 	pct := func(p float64) int64 {
 		rank := int64(p / 100 * float64(v.Count))
 		if rank < 1 {
@@ -196,6 +197,7 @@ func (h *Histogram) value() *HistogramValue {
 // HistogramValue is the snapshot form of a Histogram.
 type HistogramValue struct {
 	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
 	Mean  float64 `json:"mean"`
 	Min   int64   `json:"min"`
 	Max   int64   `json:"max"`
@@ -322,13 +324,20 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Metrics = append(s.Metrics, m)
 	}
+	s.Sort()
+	return s
+}
+
+// Sort orders metrics by name then label set — the invariant every
+// Snapshot carries. Callers that merge snapshots (the sharding router)
+// restore it after appending.
+func (s *Snapshot) Sort() {
 	sort.Slice(s.Metrics, func(a, b int) bool {
 		if s.Metrics[a].Name != s.Metrics[b].Name {
 			return s.Metrics[a].Name < s.Metrics[b].Name
 		}
 		return labelKey(s.Metrics[a].Labels) < labelKey(s.Metrics[b].Labels)
 	})
-	return s
 }
 
 func labelKey(labels map[string]string) string {

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteOpenMetrics renders the snapshot in the Prometheus text
+// exposition format (text/plain version 0.0.4, accepted by Prometheus
+// and OpenMetrics scrapers):
+//
+//   - metric names are mangled to the Prometheus charset with a prism_
+//     prefix ("core.ops" -> "prism_core_ops") and keep their labels;
+//   - counters and gauges render as one sample per series;
+//   - histograms render as summaries: {quantile="0.5"|"0.99"|"0.999"}
+//     series plus _sum and _count, so rates and interval means come out
+//     of PromQL directly.
+//
+// One # HELP / # TYPE header is emitted per family. The snapshot's
+// sorted order groups every series of a family contiguously.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	prev := ""
+	for _, m := range s.Metrics {
+		name := promName(m.Name)
+		if m.Name != prev {
+			prev = m.Name
+			help := m.Help
+			if m.Unit != "" {
+				help += " (" + m.Unit + ")"
+			}
+			typ := "counter"
+			switch m.Type {
+			case TypeGauge:
+				typ = "gauge"
+			case TypeHistogram:
+				typ = "summary"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, promEscape(help), name, typ); err != nil {
+				return err
+			}
+		}
+		if m.Hist != nil {
+			for _, q := range [...]struct {
+				q string
+				v int64
+			}{{"0.5", m.Hist.P50}, {"0.99", m.Hist.P99}, {"0.999", m.Hist.P999}} {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(m.Labels, "quantile", q.q), q.v); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+				name, promLabels(m.Labels), m.Hist.Sum,
+				name, promLabels(m.Labels), m.Hist.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(m.Labels), strconv.FormatFloat(m.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName mangles a dotted metric name into the Prometheus charset
+// with the exporter prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("prism_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a sorted {k="v",...} block, appending any extra
+// key/value pairs given (the summary quantile). Empty when there are no
+// labels at all.
+func promLabels(labels map[string]string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	ks := make([]string, 0, len(labels))
+	for k := range labels {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	var b strings.Builder
+	b.WriteByte('{')
+	// %q escapes quotes, backslashes, and newlines — exactly the label
+	// value escaping the format requires.
+	for i, k := range ks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", promName(k)[len("prism_"):], labels[k])
+	}
+	for i := 0; i < len(extra); i += 2 {
+		if len(ks) > 0 || i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes backslashes and newlines for help text and label
+// values (quotes are handled by %q).
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

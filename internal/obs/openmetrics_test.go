@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Desc{Name: "t.ops", Help: "ops done", Unit: "ops",
+		Labels: map[string]string{"op": "put"}}).Add(3)
+	r.Counter(Desc{Name: "t.ops", Help: "ops done", Unit: "ops",
+		Labels: map[string]string{"op": "get"}}).Add(5)
+	r.GaugeFunc(Desc{Name: "t.ratio", Help: "a gauge"}, func() float64 { return 0.25 })
+	h := r.Histogram(Desc{Name: "t.lat", Help: "latency", Unit: "ns"})
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	r.Counter(Desc{Name: "t.weird", Help: `back\slash help`,
+		Labels: map[string]string{"path": `a\b"c`}}).Add(1)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP prism_t_ops ops done (ops)",
+		"# TYPE prism_t_ops counter",
+		`prism_t_ops{op="get"} 5`,
+		`prism_t_ops{op="put"} 3`,
+		"# TYPE prism_t_ratio gauge",
+		"prism_t_ratio 0.25",
+		"# TYPE prism_t_lat summary",
+		`prism_t_lat{quantile="0.5"}`,
+		`prism_t_lat{quantile="0.99"}`,
+		`prism_t_lat{quantile="0.999"}`,
+		"prism_t_lat_sum 5050",
+		"prism_t_lat_count 100",
+		"# HELP prism_t_weird back\\\\slash help",
+		`prism_t_weird{path="a\\b\"c"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE prism_t_ops"); n != 1 {
+		t.Fatalf("t.ops family header emitted %d times, want once:\n%s", n, out)
+	}
+	// Every non-comment line is "name{labels} value" with a parseable
+	// float value — the shape scrapers require.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 || !strings.HasPrefix(line, "prism_") {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(Desc{Name: "d.ops", Unit: "ops"})
+	h := r.Histogram(Desc{Name: "d.lat", Unit: "ns"})
+	g := 10.0
+	r.GaugeFunc(Desc{Name: "d.gauge"}, func() float64 { return g })
+
+	c.Add(5)
+	h.Record(100)
+	h.Record(300)
+	prev := r.Snapshot()
+
+	c.Add(7)
+	h.Record(500)
+	g = 42
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if v, ok := d.Value("d.ops"); !ok || v != 7 {
+		t.Fatalf("counter delta = %v ok=%v, want 7", v, ok)
+	}
+	m, ok := d.Get("d.lat", nil)
+	if !ok || m.Hist == nil {
+		t.Fatalf("histogram delta missing: %+v ok=%v", m, ok)
+	}
+	if m.Hist.Count != 1 || m.Hist.Sum != 500 || m.Hist.Mean != 500 {
+		t.Fatalf("histogram delta count=%d sum=%d mean=%f, want 1/500/500",
+			m.Hist.Count, m.Hist.Sum, m.Hist.Mean)
+	}
+	// Gauges are point-in-time and pass through.
+	if v, ok := d.Value("d.gauge"); !ok || v != 42 {
+		t.Fatalf("gauge in delta = %v ok=%v, want 42", v, ok)
+	}
+
+	// No activity between snapshots: counters and histogram intervals
+	// are exactly zero.
+	idle := r.Snapshot().Delta(cur)
+	if v, _ := idle.Value("d.ops"); v != 0 {
+		t.Fatalf("idle counter delta = %v, want 0", v)
+	}
+	if m, _ := idle.Get("d.lat", nil); m.Hist.Count != 0 || m.Hist.Sum != 0 || m.Hist.Mean != 0 {
+		t.Fatalf("idle histogram delta = %+v, want zeroed", m.Hist)
+	}
+
+	// A series restart (current < prev) clamps to zero, and a series
+	// absent from prev counts from zero.
+	r2 := NewRegistry()
+	r2.Counter(Desc{Name: "d.ops"}).Add(2)
+	d2 := r2.Snapshot().Delta(prev)
+	if v, _ := d2.Value("d.ops"); v != 0 {
+		t.Fatalf("restarted counter delta = %v, want clamp to 0", v)
+	}
+	r3 := NewRegistry()
+	r3.Counter(Desc{Name: "d.fresh"}).Add(9)
+	d3 := r3.Snapshot().Delta(prev)
+	if v, _ := d3.Value("d.fresh"); v != 9 {
+		t.Fatalf("fresh series delta = %v, want 9", v)
+	}
+}

@@ -1,13 +1,18 @@
-// Package server exposes a core.Store over TCP speaking the RESP2
-// protocol, so stock Redis/Valkey clients and workload generators can
-// drive the store (ROADMAP "network server" item).
+// Package server exposes a Prism store (the shard-routed front end over
+// one or more core engines) over TCP speaking the RESP2 protocol, so
+// stock Redis/Valkey clients and workload generators can drive the
+// store (ROADMAP "network server" item).
 //
 // Threading model: Prism's engine hands out per-thread handles
 // (Store.Thread(i)) that are fast but not concurrency-safe. The server
 // pins each accepted connection to one handle round-robin; connections
 // sharing a handle serialize on a per-handle mutex, so N store threads
 // give N-way command parallelism regardless of connection count — the
-// paper's thread model (§4) carried across the wire.
+// paper's thread model (§4) carried across the wire. With sharding
+// enabled the handle is the router's: a connection whose keys hash to
+// one shard keeps that shard's pinned fast path, multi-key commands fan
+// out to the owning shards in parallel, and SCAN k-way merges per-shard
+// ordered scans — all transparent at the protocol level.
 //
 // Supported commands (RESP arrays or inline, case-insensitive):
 //
@@ -47,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // Config tunes a Server. The zero value is production-shaped defaults.
@@ -94,7 +100,7 @@ func (c *Config) applyDefaults() {
 // lockedThread serializes the connections pinned to one store thread.
 type lockedThread struct {
 	mu sync.Mutex
-	th *core.Thread
+	th *shard.Thread
 }
 
 // queuedCmd is one command held in a MULTI block, with its verb already
@@ -146,7 +152,7 @@ func (c *session) resetTx() {
 // one Server may be attached to a given Store (metric registration is
 // once-only).
 type Server struct {
-	store *core.Store
+	store *shard.Store
 	cfg   Config
 
 	threads []*lockedThread
@@ -164,7 +170,7 @@ type Server struct {
 
 // New builds a Server over store and registers its server.* metrics in
 // the store's observability registry (no-op when metrics are disabled).
-func New(store *core.Store, cfg Config) *Server {
+func New(store *shard.Store, cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
 		store: store,
@@ -556,7 +562,7 @@ func (s *Server) execSimple(w *respWriter, verb string, args [][]byte) {
 
 // execStore runs one store-backed command on th. The caller holds the
 // slot mutex and records virtual-time latency around the call.
-func (s *Server) execStore(sess *session, th *core.Thread, w *respWriter, verb string, args [][]byte) {
+func (s *Server) execStore(sess *session, th *shard.Thread, w *respWriter, verb string, args [][]byte) {
 	switch verb {
 	case "GET":
 		if len(args) != 2 {

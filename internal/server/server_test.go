@@ -11,14 +11,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/server/respclient"
+	"repro/internal/shard"
 )
 
 // start opens a small store, attaches a server, and serves on an
 // ephemeral loopback port. Cleanup drains the server and closes the
 // store.
-func start(t *testing.T, cfg server.Config) (*core.Store, string) {
+func start(t *testing.T, cfg server.Config) (*shard.Store, string) {
 	t.Helper()
-	store, err := core.Open(core.Options{NumThreads: 4})
+	store, err := shard.Open(core.Options{NumThreads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestIdleTimeoutClosesConnection(t *testing.T) {
 // Shutdown must finish the already-buffered pipeline before closing
 // (drain), and reject connections arriving during the drain.
 func TestGracefulShutdownDrainsPipeline(t *testing.T) {
-	store, err := core.Open(core.Options{NumThreads: 2})
+	store, err := shard.Open(core.Options{NumThreads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,5 +379,118 @@ func TestGracefulShutdownDrainsPipeline(t *testing.T) {
 	}
 	if store.Len() != n {
 		t.Fatalf("store has %d keys, want %d", store.Len(), n)
+	}
+}
+
+// TestShardedCrossShardCommands runs the multi-key surface against a
+// 4-shard store: MSET/MGET fan out across shards, SCAN k-way merges the
+// per-shard streams, and MULTI/EXEC queues execute atomically per
+// connection — all transparently through the router.
+func TestShardedCrossShardCommands(t *testing.T) {
+	store, err := shard.Open(core.Options{NumThreads: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(store, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		store.Close()
+	})
+	c := dial(t, ln.Addr().String())
+
+	// MSET wide enough that jump placement scatters it over every shard.
+	const n = 64
+	args := make([]string, 0, 1+2*n)
+	args = append(args, "MSET")
+	for i := 0; i < n; i++ {
+		args = append(args, fmt.Sprintf("sk%04d", i), fmt.Sprintf("sv%04d", i))
+	}
+	if r, err := c.Do(args...); err != nil || r.Str != "OK" {
+		t.Fatalf("MSET: %+v, %v", r, err)
+	}
+	touched := 0
+	for j := 0; j < store.NumShards(); j++ {
+		if store.Shard(j).Len() > 0 {
+			touched++
+		}
+	}
+	if touched < 2 {
+		t.Fatalf("MSET of %d keys landed on %d shards — not a cross-shard test", n, touched)
+	}
+
+	// MGET in input order with interleaved misses.
+	mget := []string{"MGET"}
+	for i := 0; i < n; i += 2 {
+		mget = append(mget, fmt.Sprintf("sk%04d", i), fmt.Sprintf("missing%04d", i))
+	}
+	r, err := c.Do(mget...)
+	if err != nil || len(r.Elems) != n {
+		t.Fatalf("MGET: %+v, %v", r, err)
+	}
+	for i := 0; i < n; i += 2 {
+		if got := r.Elems[i].Str; got != fmt.Sprintf("sv%04d", i) {
+			t.Fatalf("MGET[%d] = %q, want sv%04d", i, got, i)
+		}
+		if !r.Elems[i+1].Nil {
+			t.Fatalf("MGET[%d] = %+v, want nil", i+1, r.Elems[i+1])
+		}
+	}
+
+	// SCAN must return the k-way-merged global key order.
+	r, err = c.Do("SCAN", "sk", fmt.Sprint(n))
+	if err != nil || len(r.Elems) != 2*n {
+		t.Fatalf("SCAN: %d elems, %v", len(r.Elems), err)
+	}
+	for i := 0; i < n; i++ {
+		if got := r.Elems[2*i].Str; got != fmt.Sprintf("sk%04d", i) {
+			t.Fatalf("SCAN key[%d] = %q, want sk%04d", i, got, i)
+		}
+	}
+
+	// MULTI/EXEC batching SETs and a cross-shard MGET.
+	if r, err := c.Do("MULTI"); err != nil || r.Str != "OK" {
+		t.Fatalf("MULTI: %+v, %v", r, err)
+	}
+	for i := 0; i < 8; i++ {
+		if r, err := c.Do("SET", fmt.Sprintf("tx%02d", i), fmt.Sprintf("txv%02d", i)); err != nil || r.Str != "QUEUED" {
+			t.Fatalf("queued SET: %+v, %v", r, err)
+		}
+	}
+	if r, err := c.Do("MGET", "tx00", "tx07", "sk0001"); err != nil || r.Str != "QUEUED" {
+		t.Fatalf("queued MGET: %+v, %v", r, err)
+	}
+	r, err = c.Do("EXEC")
+	if err != nil || len(r.Elems) != 9 {
+		t.Fatalf("EXEC: %+v, %v", r, err)
+	}
+	for i := 0; i < 8; i++ {
+		if r.Elems[i].Str != "OK" {
+			t.Fatalf("EXEC[%d] = %+v", i, r.Elems[i])
+		}
+	}
+	last := r.Elems[8]
+	if len(last.Elems) != 3 || last.Elems[0].Str != "txv00" ||
+		last.Elems[1].Str != "txv07" || last.Elems[2].Str != "sv0001" {
+		t.Fatalf("EXEC MGET = %+v", last.Elems)
+	}
+
+	// Router metrics must record the fan-out.
+	snap := store.Metrics()
+	if got := snap.Sum("shard.cross_batches"); got < 1 {
+		t.Fatalf("shard.cross_batches = %v, want >= 1", got)
+	}
+	if got := snap.Sum("shard.scan_merges"); got < 1 {
+		t.Fatalf("shard.scan_merges = %v, want >= 1", got)
 	}
 }

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// PutBatch partitions kvs by owning shard and applies the per-shard
+// sub-batches, in parallel goroutines when more than one shard is
+// touched. Each sub-batch goes through core.PutBatch, so the
+// one-epoch-enter / one-publish-window amortization holds per shard: a
+// batch of B keys touching S shards costs at most S epoch enters.
+//
+// Ordering and durability: partitioning preserves input order within a
+// shard, and duplicate keys hash to the same shard, so the later of two
+// duplicate entries still wins. Core's prefix-durability guarantee
+// holds per shard only — after a crash, different shards may have
+// persisted different prefixes of their sub-batches.
+func (t *Thread) PutBatch(kvs []core.KV) error {
+	s := t.s
+	if len(kvs) == 0 {
+		return nil
+	}
+	s.m.batchPut.Inc()
+	if len(s.shards) == 1 {
+		s.m.fanout.Record(1)
+		err := t.ths[0].PutBatch(kvs)
+		t.sync(0)
+		return err
+	}
+	t.touched = t.touched[:0]
+	for i := range kvs {
+		j := s.ShardOf(kvs[i].Key)
+		if len(t.subPut[j]) == 0 {
+			t.touched = append(t.touched, j)
+		}
+		t.subPut[j] = append(t.subPut[j], kvs[i])
+	}
+	s.m.fanout.Record(int64(len(t.touched)))
+	var err error
+	if len(t.touched) == 1 {
+		// Single-shard batch: stay on the caller's goroutine (the
+		// affinity fast path — no spawn, no barrier).
+		j := t.touched[0]
+		err = t.ths[j].PutBatch(t.subPut[j])
+		t.sync(j)
+	} else {
+		s.m.crossPut.Inc()
+		var wg sync.WaitGroup
+		for _, j := range t.touched {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				t.errs[j] = t.ths[j].PutBatch(t.subPut[j])
+			}(j)
+		}
+		wg.Wait()
+		for _, j := range t.touched {
+			err = errors.Join(err, t.errs[j])
+			t.errs[j] = nil
+			t.sync(j)
+		}
+	}
+	for _, j := range t.touched {
+		clear(t.subPut[j]) // release caller references
+		t.subPut[j] = t.subPut[j][:0]
+	}
+	return err
+}
+
+// MultiGet resolves keys across shards and returns one value per key in
+// input order, nil marking a missing key (see core.MultiGet).
+func (t *Thread) MultiGet(keys [][]byte) ([][]byte, error) {
+	return t.MultiGetInto(keys, make([][]byte, 0, len(keys)))
+}
+
+// MultiGetInto is MultiGet appending into vals (one entry per key, nil
+// = missing), returning the extended slice. Keys are partitioned by
+// shard, the per-shard sub-reads run in parallel goroutines (each a
+// single epoch-scoped pass with merged VS read extents on its shard),
+// and results scatter back to the input positions — the merged output
+// order always matches the key order given, regardless of fan-out.
+func (t *Thread) MultiGetInto(keys [][]byte, vals [][]byte) ([][]byte, error) {
+	s := t.s
+	if len(s.shards) == 1 {
+		if len(keys) > 0 {
+			s.m.batchGet.Inc()
+			s.m.fanout.Record(1)
+		}
+		out, err := t.ths[0].MultiGetInto(keys, vals)
+		t.sync(0)
+		return out, err
+	}
+	base := len(vals)
+	for range keys {
+		vals = append(vals, nil)
+	}
+	if len(keys) == 0 {
+		return vals, nil
+	}
+	s.m.batchGet.Inc()
+	t.touched = t.touched[:0]
+	for i, k := range keys {
+		j := s.ShardOf(k)
+		if len(t.subKeys[j]) == 0 {
+			t.touched = append(t.touched, j)
+		}
+		t.subKeys[j] = append(t.subKeys[j], k)
+		t.subIdx[j] = append(t.subIdx[j], i)
+	}
+	s.m.fanout.Record(int64(len(t.touched)))
+	var err error
+	if len(t.touched) == 1 {
+		j := t.touched[0]
+		t.subVals[j], t.errs[j] = t.ths[j].MultiGetInto(t.subKeys[j], t.subVals[j][:0])
+		t.sync(j)
+	} else {
+		s.m.crossGet.Inc()
+		var wg sync.WaitGroup
+		for _, j := range t.touched {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				t.subVals[j], t.errs[j] = t.ths[j].MultiGetInto(t.subKeys[j], t.subVals[j][:0])
+			}(j)
+		}
+		wg.Wait()
+		for _, j := range t.touched {
+			t.sync(j)
+		}
+	}
+	for _, j := range t.touched {
+		err = errors.Join(err, t.errs[j])
+		t.errs[j] = nil
+		for si, i := range t.subIdx[j] {
+			vals[base+i] = t.subVals[j][si]
+		}
+		clear(t.subKeys[j])
+		t.subKeys[j] = t.subKeys[j][:0]
+		clear(t.subVals[j])
+		t.subVals[j] = t.subVals[j][:0]
+		t.subIdx[j] = t.subIdx[j][:0]
+	}
+	return vals, err
+}

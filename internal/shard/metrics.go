@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// routerMetrics are the router's own counters — everything a shard's
+// core registry cannot see because it happens above the shards.
+type routerMetrics struct {
+	routedPut, routedGet     *obs.Counter
+	routedDelete, routedScan *obs.Counter
+	batchPut, batchGet       *obs.Counter
+	crossPut, crossGet       *obs.Counter
+	scanMerges               *obs.Counter
+	fanout                   *obs.Histogram
+}
+
+func (s *Store) registerMetrics() {
+	r := s.reg
+	op := func(v string) map[string]string { return map[string]string{"op": v} }
+	s.m.routedPut = r.Counter(obs.Desc{Name: "shard.routed_ops", Help: "single-key ops routed to their owning shard", Unit: "ops", Labels: op("put")})
+	s.m.routedGet = r.Counter(obs.Desc{Name: "shard.routed_ops", Help: "single-key ops routed to their owning shard", Unit: "ops", Labels: op("get")})
+	s.m.routedDelete = r.Counter(obs.Desc{Name: "shard.routed_ops", Help: "single-key ops routed to their owning shard", Unit: "ops", Labels: op("delete")})
+	s.m.routedScan = r.Counter(obs.Desc{Name: "shard.routed_ops", Help: "single-key ops routed to their owning shard", Unit: "ops", Labels: op("scan")})
+	s.m.batchPut = r.Counter(obs.Desc{Name: "shard.batch_ops", Help: "batches seen by the router", Unit: "ops", Labels: op("put")})
+	s.m.batchGet = r.Counter(obs.Desc{Name: "shard.batch_ops", Help: "batches seen by the router", Unit: "ops", Labels: op("get")})
+	s.m.crossPut = r.Counter(obs.Desc{Name: "shard.cross_batches", Help: "batches fanned out to more than one shard", Unit: "ops", Labels: op("put")})
+	s.m.crossGet = r.Counter(obs.Desc{Name: "shard.cross_batches", Help: "batches fanned out to more than one shard", Unit: "ops", Labels: op("get")})
+	s.m.scanMerges = r.Counter(obs.Desc{Name: "shard.scan_merges", Help: "scans answered by a k-way merge over shards", Unit: "ops"})
+	s.m.fanout = r.Histogram(obs.Desc{Name: "shard.batch_fanout", Help: "shards touched per batch", Unit: "shards"})
+	r.GaugeFunc(obs.Desc{Name: "shard.count", Help: "number of shards", Unit: "shards"},
+		func() float64 { return float64(len(s.shards)) })
+	for i := range s.shards {
+		cs := s.shards[i]
+		r.GaugeFunc(obs.Desc{Name: "shard.keys", Help: "live keys on one shard", Unit: "keys",
+			Labels: map[string]string{"shard": strconv.Itoa(i)}},
+			func() float64 { return float64(cs.Len()) })
+	}
+	r.GaugeFunc(obs.Desc{Name: "shard.imbalance", Help: "max/mean live keys across shards (1.0 = perfectly balanced, 0 = empty)", Unit: "ratio"},
+		func() float64 {
+			var total, max int
+			for _, cs := range s.shards {
+				n := cs.Len()
+				total += n
+				if n > max {
+					max = n
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			mean := float64(total) / float64(len(s.shards))
+			return float64(max) / mean
+		})
+}
+
+// Metrics merges the router's own snapshot with every shard's. With one
+// shard the core series pass through untouched (so existing unique-name
+// lookups keep working); with several, each core series gains a
+// {shard=i} label and store-wide values are obtained with Snapshot.Sum.
+// Empty when Options.DisableMetrics.
+func (s *Store) Metrics() obs.Snapshot {
+	if s.reg == nil {
+		return obs.Snapshot{}
+	}
+	snap := s.reg.Snapshot()
+	if len(s.shards) == 1 {
+		snap.Metrics = append(snap.Metrics, s.shards[0].Metrics().Metrics...)
+	} else {
+		for i, cs := range s.shards {
+			lab := strconv.Itoa(i)
+			for _, m := range cs.Metrics().Metrics {
+				ls := make(map[string]string, len(m.Labels)+1)
+				for k, v := range m.Labels {
+					ls[k] = v
+				}
+				ls["shard"] = lab
+				m.Labels = ls
+				snap.Metrics = append(snap.Metrics, m)
+			}
+		}
+	}
+	snap.Sort()
+	return snap
+}
+
+// MetricsRegistry returns the router-level registry (nil when metrics
+// are disabled) — the home for front-end metrics such as the RESP
+// server's, which are store-wide rather than per-shard.
+func (s *Store) MetricsRegistry() *obs.Registry { return s.reg }

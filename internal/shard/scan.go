@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Scan visits up to count pairs with key >= start in global key order.
+// Jump placement scatters adjacent keys across shards, so a sharded
+// scan is a k-way merge: every shard runs its own ordered scan in
+// parallel (each with core's merged VS reads and SVC chaining on that
+// shard), and the router merges the per-shard streams by key.
+//
+// Each shard must over-fetch up to count pairs — in the worst case the
+// whole result range lives on one shard — so a sharded scan reads up to
+// NumShards*count candidates to emit count; that over-read is the
+// documented cost of hash placement (range partitioning is the future
+// fix, see ROADMAP). count <= 0 scans to the end on every shard.
+func (t *Thread) Scan(start []byte, count int, fn func(kv core.KV) bool) error {
+	s := t.s
+	s.m.routedScan.Inc()
+	if len(s.shards) == 1 {
+		err := t.ths[0].Scan(start, count, fn)
+		t.sync(0)
+		return err
+	}
+	s.m.scanMerges.Inc()
+	lists := make([][]core.KV, len(s.shards))
+	var wg sync.WaitGroup
+	for j := range s.shards {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			t.errs[j] = t.ths[j].Scan(start, count, func(kv core.KV) bool {
+				lists[j] = append(lists[j], kv)
+				return true
+			})
+		}(j)
+	}
+	wg.Wait()
+	var err error
+	for j := range s.shards {
+		err = errors.Join(err, t.errs[j])
+		t.errs[j] = nil
+		t.sync(j)
+	}
+	if err != nil {
+		return err
+	}
+	// Merge the ordered per-shard lists. Shard counts are small (<=
+	// MaxShards, typically single digits), so a linear min-probe beats a
+	// heap's overhead.
+	pos := make([]int, len(lists))
+	emitted := 0
+	for count <= 0 || emitted < count {
+		best := -1
+		for j := range lists {
+			if pos[j] >= len(lists[j]) {
+				continue
+			}
+			if best < 0 || bytes.Compare(lists[j][pos[j]].Key, lists[best][pos[best]].Key) < 0 {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		kv := lists[best][pos[best]]
+		pos[best]++
+		emitted++
+		if !fn(kv) {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+// Package shard scales Prism horizontally: a shard.Store owns N
+// independent core.Store instances — each with its own simulated NVM
+// region, SSD set, background threads, and epoch domain — behind a pure
+// hash router, the same scale-out move that carries single-instance
+// in-memory stores to clustered deployments.
+//
+// # Placement
+//
+// A key's shard is a pure function of its bytes: FNV-1a 64 of the key
+// fed to Lamping & Veach's jump consistent hash over NumShards buckets.
+// Placement never depends on insertion order, store state, or process
+// lifetime — the same key lands on the same shard across restarts and
+// crash/recovery cycles, which is what makes per-shard recovery sound.
+//
+// # Threads and clocks
+//
+// The router exposes the same Thread-handle surface as core: Thread(i)
+// must not be used concurrently, distinct handles run in parallel.
+// Router thread i exclusively owns core thread i of every shard, so a
+// single-key op routes straight to the owning shard's pinned thread —
+// one hash plus one method call, zero added locking (per-connection
+// shard affinity falls out: a connection whose keys hash to one shard
+// keeps its existing pinned fast path). A router thread's Clk is the
+// makespan over the per-shard clocks it has driven: shards model
+// independent devices running concurrently, so sequential ops that land
+// on different shards overlap in virtual time exactly as N independent
+// stores would. With Shards=1 the router degenerates to a pass-through
+// whose clock mirrors the single core thread.
+//
+// # Batches and scans
+//
+// PutBatch/MultiGet partition by shard and execute the per-shard
+// sub-batches in parallel goroutines, preserving core's one-epoch-enter
+// / one-publish-window amortization per shard; results merge back in
+// input order. Scan runs per-shard ordered scans in parallel and k-way
+// merges them. Cross-shard PutBatch keeps core's prefix-durability only
+// per shard: a crash can leave different shards at different prefixes
+// of their sub-batches.
+package shard
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// MaxShards bounds Options.Shards; each shard is a full simulated device
+// set, so the limit only guards against absurd configurations.
+const MaxShards = 256
+
+// seedStride separates per-shard RNG seed streams (golden-ratio step).
+const seedStride = 0x9e3779b97f4a7c15
+
+// Store routes the full core.Store surface over NumShards independent
+// core stores. Safe for the same concurrent use as core.Store: Thread
+// handles are single-owner, store-level methods may run from any
+// goroutine.
+type Store struct {
+	opt     core.Options
+	shards  []*core.Store
+	threads []*Thread
+
+	reg *obs.Registry
+	m   routerMetrics
+}
+
+// Thread is one application thread's routed handle. It exclusively owns
+// one core.Thread per shard and must not be used concurrently; distinct
+// Threads run in parallel. Clk is the thread's makespan clock: the max
+// over every per-shard virtual clock this handle has driven.
+type Thread struct {
+	s   *Store
+	id  int
+	Clk *sim.Clock
+	ths []*core.Thread // core thread id of every shard, exclusively owned
+
+	// Batch fan-out scratch, reused across calls (a Thread is
+	// single-owner, so reuse is race-free and keeps fan-out
+	// allocation-flat). Entries are truncated, never shrunk.
+	subPut  [][]core.KV // per-shard sub-batch for PutBatch
+	subKeys [][][]byte  // per-shard key sub-slices for MultiGet
+	subVals [][][]byte  // per-shard value results for MultiGet
+	subIdx  [][]int     // original input positions per shard
+	touched []int       // shards hit by the current batch
+	errs    []error     // per-shard fan-out errors
+}
+
+// Open creates a Store of opt.Shards independent core stores (default
+// 1). Every shard receives the full per-shard resources described by
+// opt (threads, PWB rings, SSD set); shard i's RNG seed is derived from
+// opt.Seed so runs stay deterministic.
+func Open(opt core.Options) (*Store, error) {
+	n := opt.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 0 {
+		return nil, errors.New("prism: Shards must be >= 1")
+	}
+	if n > MaxShards {
+		return nil, errors.New("prism: too many shards")
+	}
+	s := &Store{opt: opt}
+	for i := 0; i < n; i++ {
+		sopt := opt
+		sopt.Shards = 0
+		if sopt.Seed == 0 {
+			sopt.Seed = 1 // mirror core's default before deriving
+		}
+		sopt.Seed += uint64(i) * seedStride
+		cs, err := core.Open(sopt)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, cs)
+	}
+	for i := 0; i < s.shards[0].NumThreads(); i++ {
+		th := &Thread{
+			s:       s,
+			id:      i,
+			Clk:     sim.NewClock(0),
+			subPut:  make([][]core.KV, n),
+			subKeys: make([][][]byte, n),
+			subVals: make([][][]byte, n),
+			subIdx:  make([][]int, n),
+			errs:    make([]error, n),
+		}
+		for j := 0; j < n; j++ {
+			th.ths = append(th.ths, s.shards[j].Thread(i))
+		}
+		s.threads = append(s.threads, th)
+	}
+	if !opt.DisableMetrics {
+		s.reg = obs.NewRegistry()
+		s.registerMetrics()
+	}
+	return s, nil
+}
+
+// fnv64a is FNV-1a 64 over the key bytes — the stable pre-hash feeding
+// jump placement.
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// jump is Lamping & Veach's jump consistent hash: a uniform mapping of
+// a 64-bit hash onto n buckets where growing n moves only ~1/n of keys.
+func jump(key uint64, n int) int {
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// ShardOf returns the shard index owning key — a pure, stable function
+// of the key bytes and the shard count.
+func (s *Store) ShardOf(key []byte) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return jump(fnv64a(key), len(s.shards))
+}
+
+// NumShards returns the number of shards.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's core store (tests, recovery drills, and
+// harness plumbing; application traffic goes through Thread handles).
+func (s *Store) Shard(i int) *core.Store { return s.shards[i] }
+
+// Thread returns routed application thread handle i.
+func (s *Store) Thread(i int) *Thread { return s.threads[i] }
+
+// NumThreads returns the number of thread handles.
+func (s *Store) NumThreads() int { return len(s.threads) }
+
+// Len returns the number of live keys across all shards.
+func (s *Store) Len() int {
+	n := 0
+	for _, cs := range s.shards {
+		n += cs.Len()
+	}
+	return n
+}
+
+// Close stops every shard; the first error wins.
+func (s *Store) Close() error {
+	var first error
+	for _, cs := range s.shards {
+		if err := cs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Crash simulates a power failure across every shard (see core.Crash).
+// Crash a single shard's devices with Shard(i).Crash().
+func (s *Store) Crash() {
+	for _, cs := range s.shards {
+		cs.Crash()
+	}
+}
+
+// Recover rebuilds every shard in parallel — shards are independent
+// stores, so recovery parallelism comes for free — and aggregates the
+// per-shard reports: counters sum, VirtualNS is the makespan.
+func (s *Store) Recover() (core.RecoveryReport, error) {
+	reps := make([]core.RecoveryReport, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, cs := range s.shards {
+		wg.Add(1)
+		go func(i int, cs *core.Store) {
+			defer wg.Done()
+			reps[i], errs[i] = cs.Recover()
+		}(i, cs)
+	}
+	wg.Wait()
+	var rep core.RecoveryReport
+	for _, r := range reps {
+		rep.LiveKeys += r.LiveKeys
+		rep.LostKeys += r.LostKeys
+		rep.PWBValuesDrained += r.PWBValuesDrained
+		rep.VSValuesRecovered += r.VSValuesRecovered
+		if r.VirtualNS > rep.VirtualNS {
+			rep.VirtualNS = r.VirtualNS
+		}
+	}
+	return rep, errors.Join(errs...)
+}
+
+// Stats sums the per-shard counters into one store-level snapshot.
+func (s *Store) Stats() core.Stats {
+	var t core.Stats
+	for _, cs := range s.shards {
+		st := cs.Stats()
+		t.Puts += st.Puts
+		t.Gets += st.Gets
+		t.Deletes += st.Deletes
+		t.Scans += st.Scans
+		t.BatchPuts += st.BatchPuts
+		t.BatchGets += st.BatchGets
+		t.SVCHits += st.SVCHits
+		t.PWBHits += st.PWBHits
+		t.VSReads += st.VSReads
+		t.UserBytesWritten += st.UserBytesWritten
+		t.Reclaims += st.Reclaims
+		t.PWBLiveMigrated += st.PWBLiveMigrated
+		t.ScanRewrites += st.ScanRewrites
+		t.PutStalls += st.PutStalls
+		t.ReclaimPublishLost += st.ReclaimPublishLost
+		t.ScanTornRecords += st.ScanTornRecords
+		t.IndexSpaceBytes += st.IndexSpaceBytes
+		t.HSITSpaceBytes += st.HSITSpaceBytes
+		t.VS.ChunksWritten += st.VS.ChunksWritten
+		t.VS.BytesWritten += st.VS.BytesWritten
+		t.VS.GCRuns += st.VS.GCRuns
+		t.VS.GCLiveMoved += st.VS.GCLiveMoved
+		t.VS.GCBytesMoved += st.VS.GCBytesMoved
+		t.VS.FreeChunks += st.VS.FreeChunks
+		t.VS.LiveChunks += st.VS.LiveChunks
+		t.SVC.Bytes += st.SVC.Bytes
+		t.SVC.Entries += st.SVC.Entries
+		t.SVC.Evictions += st.SVC.Evictions
+		t.SVC.Promotions += st.SVC.Promotions
+		t.SVC.ChainRewrites += st.SVC.ChainRewrites
+		t.SVC.TouchDrops += st.SVC.TouchDrops
+	}
+	return t
+}
+
+// WriteAmp reports (SSD bytes written, user bytes written) summed over
+// every shard's device set.
+func (s *Store) WriteAmp() (device, user int64) {
+	for _, cs := range s.shards {
+		for _, d := range cs.SSDs() {
+			device += d.Stats().BytesWritten
+		}
+		user += cs.Stats().UserBytesWritten
+	}
+	return device, user
+}
+
+// sync folds shard j's thread clock into the router thread's makespan
+// clock after an op has run there.
+func (t *Thread) sync(j int) {
+	t.Clk.AdvanceTo(t.ths[j].Clk.Now())
+}
+
+// Put routes a single-key write to the owning shard's pinned thread.
+func (t *Thread) Put(key, value []byte) error {
+	j := t.s.ShardOf(key)
+	t.s.m.routedPut.Inc()
+	err := t.ths[j].Put(key, value)
+	t.sync(j)
+	return err
+}
+
+// Get routes a single-key read to the owning shard's pinned thread.
+func (t *Thread) Get(key []byte) ([]byte, error) {
+	j := t.s.ShardOf(key)
+	t.s.m.routedGet.Inc()
+	v, err := t.ths[j].Get(key)
+	t.sync(j)
+	return v, err
+}
+
+// Delete routes a single-key delete to the owning shard's pinned thread.
+func (t *Thread) Delete(key []byte) error {
+	j := t.s.ShardOf(key)
+	t.s.m.routedDelete.Inc()
+	err := t.ths[j].Delete(key)
+	t.sync(j)
+	return err
+}

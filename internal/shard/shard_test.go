@@ -1,0 +1,391 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// small returns a sharded store sized so that reclamation, caching, and
+// GC all trigger quickly in tests (per shard: core's test sizing).
+func small(t *testing.T, shards int, mutate func(*core.Options)) *Store {
+	t.Helper()
+	opt := core.Options{
+		Shards:            shards,
+		NumThreads:        2,
+		PWBBytesPerThread: 64 << 10,
+		HSITCapacity:      1 << 14,
+		NumSSDs:           2,
+		SSDBytes:          4 << 20,
+		ChunkSize:         16 << 10,
+		SVCBytes:          64 << 10,
+	}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	s, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("user%08d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("value-%08d-%032d", i, i)) }
+
+// Placement must be a pure function of the key bytes and the shard
+// count: two independently opened stores agree on every key, and jump
+// placement spreads a uniform keyspace roughly evenly.
+func TestPlacementPureAndStable(t *testing.T) {
+	a := small(t, 4, nil)
+	b := small(t, 4, func(o *core.Options) { o.Seed = 99 }) // seed must not move keys
+	counts := make([]int, a.NumShards())
+	for i := 0; i < 4000; i++ {
+		k := key(i)
+		ja, jb := a.ShardOf(k), b.ShardOf(k)
+		if ja != jb {
+			t.Fatalf("key %q: placement %d vs %d across store instances", k, ja, jb)
+		}
+		counts[ja]++
+	}
+	for j, n := range counts {
+		if n < 4000/a.NumShards()/2 || n > 4000/a.NumShards()*2 {
+			t.Fatalf("shard %d holds %d of 4000 keys — jump placement badly skewed: %v", j, n, counts)
+		}
+	}
+	one := small(t, 1, nil)
+	if j := one.ShardOf(key(7)); j != 0 {
+		t.Fatalf("single-shard ShardOf = %d, want 0", j)
+	}
+}
+
+func TestRoutedRoundTrip(t *testing.T) {
+	s := small(t, 4, nil)
+	th := s.Thread(0)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, err := th.Get(key(i))
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, value(i)) {
+			t.Fatalf("Get %d = %q, want %q", i, got, value(i))
+		}
+	}
+	if _, err := th.Get([]byte("missing")); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("missing key err = %v", err)
+	}
+	if err := th.Delete(key(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Get(key(3)); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("deleted key err = %v", err)
+	}
+	// Every shard should own a slice of a 200-key uniform keyspace.
+	for j := 0; j < s.NumShards(); j++ {
+		if s.Shard(j).Len() == 0 {
+			t.Fatalf("shard %d is empty after %d uniform keys", j, n)
+		}
+	}
+}
+
+// The fan-out MultiGet property: for random key sets — hits, misses,
+// and duplicates, scattered over every shard — the merged result is
+// exactly what per-key Gets produce, one entry per key in input order.
+func TestMultiGetInputOrderProperty(t *testing.T) {
+	s := small(t, 4, nil)
+	th := s.Thread(0)
+	const live = 300
+	for i := 0; i < live; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(7)
+	reader := s.Thread(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		keys := make([][]byte, n)
+		for i := range keys {
+			// ~1/4 misses; duplicates arise naturally from the small range.
+			keys[i] = key(rng.Intn(live + live/3))
+		}
+		vals, err := reader.MultiGet(keys)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(vals) != n {
+			t.Fatalf("trial %d: %d values for %d keys", trial, len(vals), n)
+		}
+		for i, k := range keys {
+			want, err := reader.Get(k)
+			if errors.Is(err, core.ErrNotFound) {
+				want = nil
+			} else if err != nil {
+				t.Fatalf("trial %d key %q: %v", trial, k, err)
+			}
+			if !bytes.Equal(vals[i], want) {
+				t.Fatalf("trial %d pos %d key %q: MultiGet %q, Get %q",
+					trial, i, k, vals[i], want)
+			}
+		}
+	}
+}
+
+// Scan over shards is a k-way merge of per-shard ordered scans: results
+// must come back in global key order, respect count and the early-stop
+// callback, and exactly match the live keyspace.
+func TestScanKWayMerge(t *testing.T) {
+	s := small(t, 4, nil)
+	th := s.Thread(0)
+	const n = 250
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a few so the expected set is not trivially dense.
+	for _, i := range []int{0, 17, 99, 200} {
+		if err := th.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []string
+	for i := 0; i < n; i++ {
+		switch i {
+		case 0, 17, 99, 200:
+		default:
+			want = append(want, string(key(i)))
+		}
+	}
+	sort.Strings(want)
+
+	collect := func(start []byte, count int) []string {
+		var got []string
+		var prev []byte
+		if err := th.Scan(start, count, func(kv core.KV) bool {
+			if prev != nil && bytes.Compare(prev, kv.Key) >= 0 {
+				t.Fatalf("scan out of order: %q then %q", prev, kv.Key)
+			}
+			prev = append(prev[:0], kv.Key...)
+			got = append(got, string(kv.Key))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	full := collect(nil, 0)
+	if len(full) != len(want) {
+		t.Fatalf("full scan returned %d keys, want %d", len(full), len(want))
+	}
+	for i := range want {
+		if full[i] != want[i] {
+			t.Fatalf("full scan[%d] = %q, want %q", i, full[i], want[i])
+		}
+	}
+	// Bounded scan from a midpoint.
+	mid := collect(key(100), 10)
+	if len(mid) != 10 || mid[0] != string(key(100)) {
+		t.Fatalf("scan from %q count 10 = %v", key(100), mid)
+	}
+	// Early stop after 3.
+	var stopped int
+	if err := th.Scan(nil, 0, func(kv core.KV) bool {
+		stopped++
+		return stopped < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stopped != 3 {
+		t.Fatalf("early-stop scan visited %d, want 3", stopped)
+	}
+}
+
+// A cross-shard PutBatch must keep core's epoch amortization per shard:
+// one batch touching S shards costs at most S epoch enters total, not
+// one per key.
+func TestPutBatchEpochAmortization(t *testing.T) {
+	s := small(t, 4, nil)
+	th := s.Thread(0)
+	enters := func() int64 {
+		var n int64
+		for j := 0; j < s.NumShards(); j++ {
+			n += s.Shard(j).Epochs().Enters()
+		}
+		return n
+	}
+	const batch = 64
+	kvs := make([]core.KV, batch)
+	for i := range kvs {
+		kvs[i] = core.KV{Key: key(i), Value: value(i)}
+	}
+	e0 := enters()
+	if err := th.PutBatch(kvs); err != nil {
+		t.Fatal(err)
+	}
+	delta := enters() - e0
+	if delta < 1 || delta > int64(s.NumShards()) {
+		t.Fatalf("cross-shard PutBatch of %d keys cost %d epoch enters, want 1..%d",
+			batch, delta, s.NumShards())
+	}
+	snap := s.Metrics()
+	if got := snap.Sum("shard.cross_batches"); got < 1 {
+		t.Fatalf("shard.cross_batches = %v, want >= 1", got)
+	}
+}
+
+// Crashing and recovering one shard must not disturb the others, and
+// the router must serve the full keyspace afterwards from the same
+// placement.
+func TestPerShardCrashRecovery(t *testing.T) {
+	s := small(t, 4, nil)
+	th := s.Thread(0)
+	const n = 400
+	placement := make([]int, n)
+	for i := 0; i < n; i++ {
+		placement[i] = s.ShardOf(key(i))
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const victim = 2
+	before := s.Shard(victim).Len()
+	if before == 0 {
+		t.Fatal("victim shard owns no keys — placement test is vacuous")
+	}
+	s.Shard(victim).Crash()
+	rep, err := s.Shard(victim).Recover()
+	if err != nil {
+		t.Fatalf("shard %d recover: %v", victim, err)
+	}
+	if rep.LiveKeys != before {
+		t.Fatalf("shard %d recovered %d live keys, want %d", victim, rep.LiveKeys, before)
+	}
+	for i := 0; i < n; i++ {
+		if got := s.ShardOf(key(i)); got != placement[i] {
+			t.Fatalf("key %d moved from shard %d to %d across recovery", i, placement[i], got)
+		}
+		got, err := th.Get(key(i))
+		if err != nil {
+			t.Fatalf("Get %d after shard recovery: %v", i, err)
+		}
+		if !bytes.Equal(got, value(i)) {
+			t.Fatalf("Get %d after shard recovery = %q, want %q", i, got, value(i))
+		}
+	}
+}
+
+// Whole-store crash/recovery: every shard recovers in parallel, the
+// aggregate report sums per-shard counts, and placement is identical in
+// a freshly opened store (pure function of key bytes and shard count).
+func TestFullCrashRecoveryPlacementStable(t *testing.T) {
+	s := small(t, 3, nil)
+	th := s.Thread(0)
+	const n = 300
+	placement := make([]int, n)
+	for i := 0; i < n; i++ {
+		placement[i] = s.ShardOf(key(i))
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Crash()
+	rep, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LiveKeys != n {
+		t.Fatalf("recovered %d live keys, want %d", rep.LiveKeys, n)
+	}
+	for i := 0; i < n; i++ {
+		got, err := th.Get(key(i))
+		if err != nil || !bytes.Equal(got, value(i)) {
+			t.Fatalf("Get %d after full recovery = %q, %v", i, got, err)
+		}
+	}
+	// A second store instance (fresh process, same shard count) places
+	// every key identically.
+	s2 := small(t, 3, func(o *core.Options) { o.Seed = 12345 })
+	for i := 0; i < n; i++ {
+		if got := s2.ShardOf(key(i)); got != placement[i] {
+			t.Fatalf("key %d placed on shard %d in a new instance, was %d", i, got, placement[i])
+		}
+	}
+}
+
+func TestOpenRejectsBadShardCounts(t *testing.T) {
+	if _, err := Open(core.Options{Shards: -1, NumThreads: 1}); err == nil {
+		t.Fatal("Shards=-1 accepted")
+	}
+	if _, err := Open(core.Options{Shards: MaxShards + 1, NumThreads: 1}); err == nil {
+		t.Fatal("Shards over MaxShards accepted")
+	}
+	// core.Open must refuse to silently run a sharded config unsharded.
+	if _, err := core.Open(core.Options{Shards: 2, NumThreads: 1}); err == nil {
+		t.Fatal("core.Open accepted Shards=2")
+	}
+}
+
+// Metrics: with one shard the core series pass through unlabeled (so
+// unique-name lookups keep working); with several, every core series
+// carries a shard label and Sum aggregates across shards.
+func TestMetricsShardLabels(t *testing.T) {
+	one := small(t, 1, nil)
+	if err := one.Thread(0).Put(key(1), value(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := one.Metrics().Value("epoch.enters"); !ok || v < 1 {
+		t.Fatalf("single-shard epoch.enters = %v ok=%v, want unique and >= 1", v, ok)
+	}
+
+	s := small(t, 4, nil)
+	th := s.Thread(0)
+	for i := 0; i < 100; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Metrics()
+	if v, ok := snap.Value("shard.count"); !ok || v != 4 {
+		t.Fatalf("shard.count = %v ok=%v, want 4", v, ok)
+	}
+	if got := snap.Sum("shard.routed_ops"); got != 100 {
+		t.Fatalf("shard.routed_ops sum = %v, want 100", got)
+	}
+	if got := snap.Sum("core.ops"); got != 100 {
+		t.Fatalf("core.ops summed over shards = %v, want 100", got)
+	}
+	for j := 0; j < 4; j++ {
+		lbl := map[string]string{"shard": fmt.Sprintf("%d", j)}
+		if _, ok := snap.Get("epoch.enters", lbl); !ok {
+			t.Fatalf("epoch.enters{shard=%d} missing from merged snapshot", j)
+		}
+		if m, ok := snap.Get("shard.keys", lbl); !ok || m.Value != float64(s.Shard(j).Len()) {
+			t.Fatalf("shard.keys{shard=%d} = %+v ok=%v, want %d", j, m, ok, s.Shard(j).Len())
+		}
+	}
+	if v, ok := snap.Value("shard.imbalance"); !ok || v < 1 {
+		t.Fatalf("shard.imbalance = %v ok=%v, want >= 1", v, ok)
+	}
+
+	off := small(t, 2, func(o *core.Options) { o.DisableMetrics = true })
+	if n := len(off.Metrics().Metrics); n != 0 {
+		t.Fatalf("DisableMetrics snapshot has %d series", n)
+	}
+}

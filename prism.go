@@ -41,23 +41,36 @@
 // Thread handles are not safe for concurrent use; distinct handles run
 // in parallel and scale with the paper's cross-storage concurrency
 // control.
+//
+// # Sharding
+//
+// Options.Shards > 1 opens that many independent stores behind a pure
+// hash router (package internal/shard): keys place by FNV-1a 64 + jump
+// consistent hash, single-key ops keep the pinned per-thread fast path
+// on the owning shard, batches fan out to per-shard sub-batches in
+// parallel, and Scan k-way merges the per-shard ordered scans. The
+// default (0 or 1) runs a single shard with no routing overhead beyond
+// one nil-check hash call.
 package prism
 
 import (
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // Options configures a Store; see core.Options for field documentation.
-// The zero value opens a small test-sized store.
+// The zero value opens a small test-sized store. Options.Shards selects
+// horizontal scale-out (every shard gets the full per-shard resources).
 type Options = core.Options
 
-// Store is a Prism key-value store over simulated heterogeneous devices.
-type Store = core.Store
+// Store is a Prism key-value store over simulated heterogeneous
+// devices: a shard router over one or more core engine instances.
+type Store = shard.Store
 
-// Thread is one application thread's handle (virtual clock, epoch
-// registration, private Persistent Write Buffer).
-type Thread = core.Thread
+// Thread is one application thread's handle (virtual clock, and on each
+// shard an epoch registration and private Persistent Write Buffer).
+type Thread = shard.Thread
 
 // KV is one key-value pair yielded by Thread.Scan.
 type KV = core.KV
@@ -79,5 +92,6 @@ var (
 	ErrClosed   = core.ErrClosed
 )
 
-// Open creates a Store over fresh simulated NVM and SSD devices.
-func Open(opt Options) (*Store, error) { return core.Open(opt) }
+// Open creates a Store over fresh simulated NVM and SSD devices —
+// opt.Shards of them when sharding is enabled.
+func Open(opt Options) (*Store, error) { return shard.Open(opt) }
