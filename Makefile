@@ -27,6 +27,7 @@ test:
 race:
 	$(GO) test -race $$($(GO) list ./... | grep -v internal/bench)
 	$(GO) test -race -count=1 -run 'TestShardBatchFanoutStress$$' ./internal/shard
+	$(GO) test -race -count=1 -run 'TestAsyncCompletionStress$$' ./internal/core
 	$(GO) test -race -count=1 -run 'TestDiagPrismLoad$$' ./internal/bench
 
 # fmt-check fails (listing the files) if any file needs gofmt.
@@ -50,11 +51,19 @@ bench:
 # bench-smoke runs the Put benchmarks once: benchmark code can never
 # silently rot, and the job log shows the batch-vs-single comparison
 # (BenchmarkPut's epoch-enters/op = 1.0 vs BenchmarkPutBatch/size=32's
-# amortized fraction) and the sharding scale-out comparison
-# (BenchmarkPutSharded's virt-Kops/s at shards=1 vs shards=4) at a
-# longer benchtime so the counters are stable.
+# amortized fraction), the sharding scale-out comparison
+# (BenchmarkPutSharded's virt-Kops/s at shards=1 vs shards=4), and the
+# pipelining comparison (BenchmarkPutPipelined's virt-Kops/s at depth=1
+# vs depth=32) at a longer benchtime so the counters are stable.
 bench-smoke:
-	$(GO) test -bench='BenchmarkPut($$|Batch|Sharded)' -benchtime=1000x -run '^$$' .
+	$(GO) test -bench='BenchmarkPut($$|Batch|Sharded|Pipelined)' -benchtime=1000x -run '^$$' .
+
+# bench-record regenerates the committed benchmark trajectory: each
+# BENCH_<experiment>.json is the experiment's per-engine metric deltas
+# (obs Snapshot.Delta around the measured phase), so diffs across PRs
+# show how the counters — not just the headline Kops — moved.
+bench-record:
+	$(GO) run ./cmd/prism-bench -run pipelinedepth -records 4000 -metrics-out BENCH_pipelinedepth.json
 
 # fuzz-smoke runs a short fuzz pass over the RESP parser.
 fuzz-smoke:

@@ -145,6 +145,50 @@ func BenchmarkPutSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkPutPipelined drives one writer through the async submission
+// pipeline at increasing depth: bursts of <depth> PutAsync then a
+// drain, the single-connection pipelining model. virt-Kops/s is ops
+// over the async-timeline makespan; depth=32 must come out well above
+// 3x the depth=1 row (the pipelining acceptance gate, asserted in
+// internal/bench's TestPipelineDepthSpeedup). Compare with
+// BenchmarkPutSharded: depth scales one connection, shards scale the
+// device sets, and the two compound.
+func BenchmarkPutPipelined(b *testing.B) {
+	for _, depth := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			store, err := prism.Open(prism.Options{
+				NumThreads:        1,
+				PWBBytesPerThread: 8 << 20,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			th := store.Thread(0)
+			val := make([]byte, 128)
+			hs := make([]*prism.Handle, 0, depth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += depth {
+				for j := 0; j < depth && i+j < b.N; j++ {
+					key := []byte(fmt.Sprintf("bench-pipe-%08d", (i+j)%10000))
+					hs = append(hs, th.PutAsync(key, val))
+				}
+				for _, h := range hs {
+					if err := h.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				hs = hs[:0]
+			}
+			b.StopTimer()
+			th.Flush()
+			if makespan := th.Clk.Now(); makespan > 0 {
+				b.ReportMetric(float64(b.N)/(float64(makespan)/1e6), "virt-Kops/s")
+			}
+		})
+	}
+}
+
 func reportKops(b *testing.B, name string, kops float64) {
 	b.ReportMetric(kops, name+"-Kops/s")
 }

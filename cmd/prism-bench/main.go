@@ -19,6 +19,9 @@
 //	-zipf F      zipfian coefficient (default 0.99)
 //	-shards N    run Prism as N independent stores behind the hash router
 //	             (default 1; see the shardscale experiment for a sweep)
+//	-pipeline N  submit ops through the async pipeline, draining every N
+//	             submissions (default 1 = synchronous; see the
+//	             pipelinedepth experiment for a sweep)
 //
 // Observability (METRICS.md):
 //
@@ -30,6 +33,9 @@
 //	-metrics-every MS   additionally sample every metric each MS of
 //	                    virtual time (a Fig-17-style timeline per capture,
 //	                    JSON only)
+//	-metrics-out FILE   write the metrics document to FILE instead of
+//	                    stdout (`make bench-record` uses this to commit
+//	                    BENCH_<experiment>.json trajectory snapshots)
 package main
 
 import (
@@ -58,6 +64,8 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print a final metrics-snapshot document (see METRICS.md)")
 		mformat = flag.String("metrics-format", "json", "metrics output format: json or prom")
 		every   = flag.Int64("metrics-every", 0, "also sample metrics every N virtual ms (implies -metrics)")
+		mout    = flag.String("metrics-out", "", "write the metrics document to this file instead of stdout (implies -metrics)")
+		pipe    = flag.Int("pipeline", 1, "submit ops through the async pipeline, draining every N submissions")
 	)
 	flag.Parse()
 	if *mformat != "json" && *mformat != "prom" {
@@ -84,10 +92,11 @@ func main() {
 		Zipfian:   *zipf,
 		Seed:      *seed,
 		Batch:     *batch,
+		Pipeline:  *pipe,
 		Shards:    *shards,
 	}
 	var mc *bench.MetricsCollector
-	if *metrics || *every > 0 {
+	if *metrics || *every > 0 || *mout != "" {
 		mc = &bench.MetricsCollector{}
 		rc.Metrics = mc
 		rc.SampleNS = *every * 1_000_000
@@ -118,13 +127,20 @@ func main() {
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 	if mc != nil {
-		// The metrics document is the last thing printed, so scripts can
-		// extract it with e.g. `awk '/^{/,0'` (json) or `awk '/^# /,0'`
-		// (prom).
+		doc := mc.JSON() + "\n"
 		if *mformat == "prom" {
-			fmt.Print(mc.OpenMetrics())
+			doc = mc.OpenMetrics()
+		}
+		if *mout != "" {
+			if err := os.WriteFile(*mout, []byte(doc), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+				os.Exit(1)
+			}
 		} else {
-			fmt.Println(mc.JSON())
+			// The metrics document is the last thing printed, so scripts
+			// can extract it with e.g. `awk '/^{/,0'` (json) or
+			// `awk '/^# /,0'` (prom).
+			fmt.Print(doc)
 		}
 	}
 }

@@ -5,7 +5,9 @@
 // With -connect addr it speaks to a running prism-server over RESP2
 // instead of opening an in-process store; the same put/get/del/scan
 // commands work, any other input is sent as a raw RESP command (so
-// "mget a b", "info", "dbsize" all work too).
+// "mget a b", "info", "dbsize" all work too). "pipe cmd ; cmd ; ..."
+// sends a burst in one flush — the pipelined path the server coalesces
+// through its async submission pipeline.
 //
 // Commands (local mode):
 //
@@ -70,11 +72,17 @@ func connectedREPL(addr string) error {
 		switch fields[0] {
 		case "help":
 			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | ping | info | dbsize | quit")
+			fmt.Println("pipe <cmd> ; <cmd> ; ...   send a pipelined burst in one flush")
 			fmt.Println("anything else is sent as a raw RESP command (e.g. 'mget a b')")
 			continue
 		case "quit", "exit":
 			c.Do("QUIT")
 			return nil
+		case "pipe":
+			if err := pipeBurst(c, fields[1:]); err != nil {
+				fmt.Println("error:", err)
+			}
+			continue
 		case "put":
 			fields[0] = "SET"
 		case "del":
@@ -87,6 +95,55 @@ func connectedREPL(addr string) error {
 		}
 		printReply(reply, "")
 	}
+}
+
+// pipeBurst sends semicolon-separated commands as one pipelined burst —
+// all queued, one flush, replies read back in order — so the server's
+// async coalescing path is exercisable by hand:
+//
+//	prism> pipe put a 1 ; put b 2 ; get a ; get b
+func pipeBurst(c *respclient.Client, fields []string) error {
+	var cmds [][]string
+	cur := []string{}
+	for _, f := range fields {
+		if f == ";" {
+			if len(cur) > 0 {
+				cmds = append(cmds, cur)
+				cur = []string{}
+			}
+			continue
+		}
+		cur = append(cur, f)
+	}
+	if len(cur) > 0 {
+		cmds = append(cmds, cur)
+	}
+	if len(cmds) == 0 {
+		return fmt.Errorf("usage: pipe <cmd> ; <cmd> ; ...")
+	}
+	for _, cmd := range cmds {
+		switch cmd[0] {
+		case "put":
+			cmd[0] = "SET"
+		case "del":
+			cmd[0] = "DEL"
+		}
+		if err := c.Send(cmd...); err != nil {
+			return err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for i := range cmds {
+		r, err := c.Receive()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d) ", i+1)
+		printReply(r, "")
+	}
+	return nil
 }
 
 // printReply renders a RESP reply the way redis-cli does, nested arrays

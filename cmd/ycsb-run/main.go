@@ -6,11 +6,14 @@
 //	ycsb-run -engine kvell -workload E -zipf 1.2
 //	ycsb-run -engine prism -workload A -metrics   # + JSON metrics snapshot
 //	ycsb-run -engine prism -workload A -shards 4  # sharded scale-out
+//	ycsb-run -engine prism -workload A -pipeline 32  # async pipelining
 //
 // Engines: prism, kvell, matrixkv, rocksdb-nvm, slm-db.
 // Workloads: L (load only), A, B, C, D, E, N (Nutanix mix).
 // -shards N runs Prism as N independent stores behind the hash router
 // (baselines ignore it).
+// -pipeline N submits ops through the engine's async pipeline, draining
+// every N submissions (engines without one fall back to sync calls).
 // -metrics prints the store's final obs snapshot (METRICS.md) as the last
 // output; -metrics-format selects json (default) or prom (Prometheus
 // text). Baselines without a registry print {} / nothing.
@@ -37,6 +40,7 @@ func main() {
 		zipf       = flag.Float64("zipf", 0.99, "zipfian coefficient")
 		seed       = flag.Uint64("seed", 42, "workload seed")
 		batch      = flag.Int("batch", 1, "group consecutive same-kind ops into PutBatch/MultiGet windows of this size")
+		pipeline   = flag.Int("pipeline", 1, "submit ops through the async pipeline, draining every N submissions (Prism only)")
 		shards     = flag.Int("shards", 1, "run Prism as this many independent stores behind the hash router")
 		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot (see METRICS.md)")
 		mformat    = flag.String("metrics-format", "json", "metrics output format: json or prom")
@@ -79,6 +83,7 @@ func main() {
 		Zipfian:   *zipf,
 		Seed:      *seed,
 		Batch:     *batch,
+		Pipeline:  *pipeline,
 	}
 
 	load := bench.Load(st, *engineName, rc)

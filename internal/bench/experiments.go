@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/kvell"
+	"repro/internal/obs"
 	"repro/internal/ycsb"
 )
 
@@ -710,6 +711,71 @@ func ShardScale(rc RunConfig) Table {
 	return t
 }
 
+// PipelineDepth measures the async submission pipeline: one thread
+// (one "connection") issues put bursts of increasing depth through
+// PutAsync and drains between bursts, so depth-N keeps N submissions in
+// flight. Deeper pipelines let the admission loop coalesce a burst into
+// a few windows — one epoch enter and one PWB publish per window — and
+// overlap the fixed per-op NVM latencies on stage clocks, leaving only
+// the shared-channel transfer residue serialized (the §5.4 TCQ shape).
+// A 4-shard column shows pipelining compounding with scale-out.
+func PipelineDepth(rc RunConfig) Table {
+	rc.applyDefaults()
+	t := Table{
+		Title:  "Pipeline depth: single-connection async Put throughput (Kops/sec)",
+		Header: []string{"depth", "Kops/sec", "speedup", "4-shard Kops/sec", "4-shard speedup"},
+		Notes: []string{
+			"1 thread, 128 B values, put-only: burst of <depth> PutAsync then drain",
+			"speedup is vs depth 1 at the same shard count",
+			"PWB sized to hold the sweep so reclamation does not serialize the depth axis",
+		},
+	}
+	// The sweep isolates submission overlap: the PWB must hold the whole
+	// run, or reclamation wraps serialize every depth equally and the
+	// curve flattens (that pressure regime is Fig14's subject, not this).
+	mut := func(o *core.Options) { o.PWBBytesPerThread = 8 << 20 }
+	base := map[int]float64{}
+	for _, d := range []int{1, 2, 4, 8, 16, 32} {
+		var kops [2]float64
+		for si, shards := range []int{1, 4} {
+			p := Params{Threads: 1, Records: rc.Records, ValueSize: 128, Shards: shards, PrismMut: mut}
+			st, err := NewEngine(EnginePrism, p)
+			if err != nil {
+				panic(err)
+			}
+			prc := rc
+			prc.Threads = 1
+			prc.ValueSize = 128
+			prc.Pipeline = d
+			// Captured as the measured phase's Snapshot.Delta: this is what
+			// `make bench-record` commits as BENCH_pipelinedepth.json, so
+			// per-PR diffs show counter movement, not cumulative totals.
+			var pre obs.Snapshot
+			src, hasMetrics := st.(MetricsSource)
+			if hasMetrics {
+				pre = src.Metrics()
+			}
+			r := Load(st, EnginePrism, prc)
+			if hasMetrics {
+				rc.Metrics.CaptureSnapshot(EnginePrism,
+					fmt.Sprintf("pipelinedepth-%d-shards%d", d, shards),
+					src.Metrics().Delta(pre))
+			}
+			st.Close()
+			kops[si] = r.KOpsPerSec()
+			if d == 1 {
+				base[shards] = kops[si]
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", d),
+			f1(kops[0]), fmt.Sprintf("%.2fx", kops[0]/base[1]),
+			f1(kops[1]), fmt.Sprintf("%.2fx", kops[1]/base[4]),
+		})
+	}
+	return t
+}
+
 // Experiments maps CLI names to runners printing their tables.
 var Experiments = map[string]func(rc RunConfig) []Table{
 	"fig7": func(rc RunConfig) []Table {
@@ -734,6 +800,9 @@ var Experiments = map[string]func(rc RunConfig) []Table{
 	"nvmspace":   func(rc RunConfig) []Table { return []Table{NVMSpace(rc)} },
 	"recovery":   func(rc RunConfig) []Table { return []Table{Recovery(rc)} },
 	"shardscale": func(rc RunConfig) []Table { return []Table{ShardScale(rc)} },
+	"pipelinedepth": func(rc RunConfig) []Table {
+		return []Table{PipelineDepth(rc)}
+	},
 }
 
 // ExperimentNames returns the sorted experiment list.

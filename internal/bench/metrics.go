@@ -69,6 +69,39 @@ func (mc *MetricsCollector) Capture(store any, engineName, workload string, time
 	mc.mu.Unlock()
 }
 
+// CaptureSnapshot records an already-built snapshot — typically a
+// Snapshot.Delta around one measured phase, the per-PR bench-trajectory
+// form (`make bench-record`). Series with no activity in the interval
+// (zero counters, empty histograms, zero gauges) are dropped, so the
+// committed trajectory diffs stay small and all-signal.
+func (mc *MetricsCollector) CaptureSnapshot(engineName, workload string, snap obs.Snapshot) {
+	if mc == nil {
+		return
+	}
+	active := obs.Snapshot{Metrics: make([]obs.Metric, 0, len(snap.Metrics))}
+	for _, m := range snap.Metrics {
+		if m.Hist != nil {
+			if m.Hist.Count != 0 {
+				active.Metrics = append(active.Metrics, m)
+			}
+			continue
+		}
+		if m.Value != 0 {
+			active.Metrics = append(active.Metrics, m)
+		}
+	}
+	if len(active.Metrics) == 0 {
+		return
+	}
+	mc.mu.Lock()
+	mc.captures = append(mc.captures, EngineMetrics{
+		Engine:   engineName,
+		Workload: workload,
+		Snapshot: active,
+	})
+	mc.mu.Unlock()
+}
+
 // Captures returns everything recorded so far, sorted by (engine,
 // workload) for stable output.
 func (mc *MetricsCollector) Captures() []EngineMetrics {

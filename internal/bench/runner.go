@@ -43,6 +43,15 @@ type RunConfig struct {
 	// Latency is recorded per operation as its window's share.
 	Batch int
 
+	// Pipeline, when > 1, models a pipelined client: each thread submits
+	// operations through the engine's asynchronous pipeline
+	// (engine.AsyncKV) and drains every Pipeline submissions, so up to
+	// Pipeline ops are in flight per drain window. Engines without an
+	// async pipeline fall back to synchronous calls. Scans drain the
+	// window first and run synchronously. Takes precedence over Batch.
+	// Latency is recorded per operation as its window's share.
+	Pipeline int
+
 	// TimelineBucketNS, when > 0, collects completed-op counts per
 	// virtual-time bucket (Figure 17).
 	TimelineBucketNS int64
@@ -197,6 +206,43 @@ func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, 
 			if batch < 1 {
 				batch = 1
 			}
+			// Pipelined mode: submit through the async pipeline and drain
+			// every `pipe` submissions. The store clones keys and values at
+			// submission, so the generator's reused buffers are safe.
+			pipe := 0
+			var async engine.AsyncKV
+			if rc.Pipeline > 1 {
+				if a, ok := kv.(engine.AsyncKV); ok {
+					pipe = rc.Pipeline
+					async = a
+					batch = 1
+				}
+			}
+			var inflight []engine.Completion
+			// flushPipe drains the in-flight window: Flush folds the async
+			// makespan into the thread clock, and the window's virtual time
+			// is spread evenly over its ops.
+			flushPipe := func() {
+				n := len(inflight)
+				if n == 0 {
+					return
+				}
+				t0 := clk.Now()
+				async.Flush()
+				for _, c := range inflight {
+					if err := c.Wait(); err != nil && !errors.Is(err, engine.ErrNotFound) {
+						errs++
+					}
+				}
+				share := (clk.Now() - t0) / int64(n)
+				for i := 0; i < n; i++ {
+					h.Record(share)
+					if rc.TimelineBucketNS > 0 {
+						times = append(times, clk.Now())
+					}
+				}
+				inflight = inflight[:0]
+			}
 			// Per-slot value copies: the generator reuses one value
 			// buffer, so a batch window must snapshot each value before
 			// the next op overwrites it.
@@ -242,12 +288,31 @@ func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, 
 			for i := 0; i < perThread; i++ {
 				if i%roundOps == 0 {
 					flushRun()
+					flushPipe()
 					bar.await(clk)
 					if ti == 0 {
 						sampler.Observe(clk.Now())
 					}
 				}
 				op := gen.Next()
+				if pipe > 0 {
+					switch op.Kind {
+					case ycsb.OpInsert, ycsb.OpUpdate:
+						inflight = append(inflight, async.PutAsync(op.Key, gen.Value(keyID(op.Key))))
+					case ycsb.OpRead:
+						inflight = append(inflight, async.GetAsync(op.Key))
+					default:
+						// Scans have no async form: drain the window (the
+						// scan must observe prior writes) and run sync.
+						flushPipe()
+					}
+					if op.Kind != ycsb.OpScan {
+						if len(inflight) >= pipe {
+							flushPipe()
+						}
+						continue
+					}
+				}
 				if batch > 1 {
 					switch op.Kind {
 					case ycsb.OpInsert, ycsb.OpUpdate:
@@ -287,6 +352,7 @@ func runThreads(store engine.Store, name string, w ycsb.Workload, rc RunConfig, 
 				}
 			}
 			flushRun()
+			flushPipe()
 			outs[ti] = threadOut{hist: h, startNS: start, endNS: clk.Now(), errs: errs, times: times}
 		}(ti)
 	}

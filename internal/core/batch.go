@@ -50,7 +50,11 @@ func (t *Thread) PutBatch(kvs []KV) error {
 
 	done := 0
 	for attempt := 0; attempt < 1_000_000; attempt++ {
+		// execMu: the PWB ring and its publish-pending window are shared
+		// with the async admission loop (see Thread.async).
+		t.async.execMu.Lock()
 		n, err := t.putBatchEpoch(kvs[done:])
+		t.async.execMu.Unlock()
 		done += n
 		if err != errRetryPut {
 			if done == len(kvs) && err == nil {

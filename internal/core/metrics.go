@@ -60,6 +60,28 @@ func (s *Store) registerMetrics() {
 	s.batchSizeGet = r.Histogram(obs.Desc{Name: "core.batch_size", Help: "keys per batch operation", Unit: "keys",
 		Labels: map[string]string{"op": "get"}})
 
+	// Async submission pipeline (PutAsync/GetAsync/DeleteAsync): how much
+	// is submitted, how well the admission loop coalesces it, and how
+	// long completions take on the async timeline. Per-key work still
+	// lands in core.ops above.
+	asyncOps := func(op string, v func() int64) {
+		r.CounterFunc(obs.Desc{Name: "core.async_ops", Help: "asynchronous submissions accepted", Unit: "ops",
+			Labels: map[string]string{"op": op}}, v)
+	}
+	asyncOps("put", s.stats.asyncPuts.Load)
+	asyncOps("get", s.stats.asyncGets.Load)
+	asyncOps("delete", s.stats.asyncDeletes.Load)
+	s.asyncWindow = r.Histogram(obs.Desc{Name: "core.async_window", Help: "submissions coalesced per admission window", Unit: "ops"})
+	s.asyncLat = r.Histogram(obs.Desc{Name: "core.async_latency", Help: "virtual time from admission-window open to completion", Unit: "ns"})
+	r.GaugeFunc(obs.Desc{Name: "core.async_inflight", Help: "async submissions accepted but not yet completed", Unit: "ops"},
+		func() float64 {
+			var n int64
+			for _, t := range s.threads {
+				n += t.async.inflight.Load()
+			}
+			return float64(n)
+		})
+
 	// ---- svc: Scan-aware Value Cache (§4.4) ----
 	if s.cache != nil {
 		r.CounterFunc(obs.Desc{Name: "svc.hits", Help: "reads served from the cache", Unit: "reads"},

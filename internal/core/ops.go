@@ -44,7 +44,12 @@ func (t *Thread) Put(key, value []byte) error {
 	t0 := t.Clk.Now()
 	defer func() { s.latPut.Record(t.Clk.Now() - t0) }()
 	for attempt := 0; attempt < 1_000_000; attempt++ {
+		// The thread's PWB ring (and its publish-pending window) is shared
+		// with the async admission loop; execMu keeps whole append windows
+		// mutually exclusive with this attempt.
+		t.async.execMu.Lock()
 		err := t.putOnce(key, value)
+		t.async.execMu.Unlock()
 		if err != errRetryPut {
 			if err == nil {
 				t.maybeKickReclaim()
@@ -329,7 +334,13 @@ func (t *Thread) Delete(key []byte) error {
 	t.part.Enter()
 	defer t.part.Exit()
 	s.stats.deletes.Add(1)
+	return t.deleteStep(key)
+}
 
+// deleteStep is one delete under the caller's epoch guard, shared by
+// Delete and the async admission loop.
+func (t *Thread) deleteStep(key []byte) error {
+	s := t.s
 	idx, ok := s.index.Delete(t.Clk, key)
 	if !ok {
 		return ErrNotFound

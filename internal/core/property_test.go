@@ -42,7 +42,57 @@ func TestStoreMatchesModelWithCrashes(t *testing.T) {
 		ref := map[string]string{}
 		for i := 0; i < 1200; i++ {
 			k := fmt.Sprintf("key%03d", rng.Intn(150))
-			switch rng.Intn(14) {
+			switch rng.Intn(15) {
+			case 14:
+				// Async burst, occasionally crashed mid-flight. A handle
+				// that resolves nil is durable — its put hit the PWB
+				// before Crash let the devices drop state — and one that
+				// resolves ErrClosed was never applied; the model applies
+				// exactly the nil-resolved prefix in submission order.
+				n := 4 + rng.Intn(8)
+				type sub struct {
+					k, v string
+					h    *Handle
+				}
+				subs := make([]sub, n)
+				doCrash := rng.Intn(6) == 0
+				for j := range subs {
+					kk := fmt.Sprintf("key%03d", rng.Intn(150))
+					vv := fmt.Sprintf("aval-%d-%d", i, j)
+					subs[j] = sub{kk, vv, th.PutAsync([]byte(kk), []byte(vv))}
+					if doCrash && j == n/2 {
+						s.Crash()
+					}
+				}
+				for _, sb := range subs {
+					switch err := sb.h.Wait(); {
+					case err == nil:
+						ref[sb.k] = sb.v
+					case doCrash && errors.Is(err, ErrClosed):
+						// not applied
+					default:
+						t.Errorf("async put %q: %v", sb.k, err)
+						return false
+					}
+				}
+				if doCrash {
+					if _, err := s.Recover(); err != nil {
+						t.Errorf("recover mid-async: %v", err)
+						return false
+					}
+					for _, sb := range subs {
+						want, exists := ref[sb.k]
+						got, gerr := th.Get([]byte(sb.k))
+						if exists != (gerr == nil) {
+							t.Errorf("post-crash async key %q: err=%v, model exists=%v", sb.k, gerr, exists)
+							return false
+						}
+						if exists && string(got) != want {
+							t.Errorf("post-crash async key %q = %q, model %q", sb.k, got, want)
+							return false
+						}
+					}
+				}
 			case 12:
 				// MultiGet agreement: nil iff the model lacks the key.
 				keys := make([][]byte, 2+rng.Intn(6))

@@ -29,6 +29,12 @@ type RecoveryReport struct {
 // recovered.
 func (s *Store) Crash() {
 	if !s.closed.Swap(true) {
+		// Join the admission loops before the devices lose state: a window
+		// in flight completes its handles (with ErrClosed from here on),
+		// then the loop exits.
+		for _, t := range s.threads {
+			t.async.stop()
+		}
 		close(s.stop)
 		s.bg.Wait()
 	}
@@ -205,6 +211,9 @@ func (s *Store) Recover() (RecoveryReport, error) {
 		go s.reclaimLoop(i)
 	}
 	go s.gcLoop()
+	for _, t := range s.threads {
+		t.async.reset()
+	}
 	s.closed.Store(false)
 	rep.VirtualNS = drainClk.Now()
 	s.stats.recoveredValues.Add(int64(rep.LiveKeys))

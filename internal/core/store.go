@@ -61,8 +61,13 @@ type Options struct {
 	ChunkSize int
 	// SVCBytes bounds the DRAM value cache. Default 4 MiB.
 	SVCBytes int64
-	// QueueDepth is the IO coalescing limit (§5.3). Default 64.
+	// QueueDepth is the IO coalescing limit (§5.3), and also caps how
+	// many async submissions one admission window coalesces. Default 64.
 	QueueDepth int
+	// AsyncMaxPending bounds in-flight async submissions per Thread;
+	// PutAsync/GetAsync/DeleteAsync block (backpressure) at the bound.
+	// Default 256.
+	AsyncMaxPending int
 	// ReclaimWatermark is the PWB utilization that triggers background
 	// reclamation. Default 0.5 (§4.3).
 	ReclaimWatermark float64
@@ -122,6 +127,9 @@ func (o *Options) applyDefaults() {
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 64
 	}
+	if o.AsyncMaxPending == 0 {
+		o.AsyncMaxPending = 256
+	}
 	if o.ReclaimWatermark == 0 {
 		o.ReclaimWatermark = 0.5
 	}
@@ -179,6 +187,7 @@ type Store struct {
 	latPut, latGet, latScan    *obs.Histogram
 	latPutBatch, latMultiGet   *obs.Histogram
 	batchSizePut, batchSizeGet *obs.Histogram
+	asyncWindow, asyncLat      *obs.Histogram
 
 	// batchStepHook, when non-nil, runs after each batch entry is applied
 	// (crash-injection point for the mid-batch prefix-consistency tests).
@@ -200,6 +209,9 @@ type statsCounters struct {
 	putStalls                     atomic.Int64
 	reclaimPublishLost            atomic.Int64
 	scanTornRecords               atomic.Int64
+
+	asyncPuts, asyncGets atomic.Int64
+	asyncDeletes         atomic.Int64
 }
 
 // Thread is one application thread's handle: it owns a virtual clock, an
@@ -212,6 +224,10 @@ type Thread struct {
 	part *epoch.Participant
 	buf  *pwb.Buffer
 	rng  *sim.RNG
+
+	// async is the thread's admission loop for PutAsync/GetAsync/
+	// DeleteAsync (nil only on shadow executors, which never submit).
+	async *asyncThread
 
 	// MultiGet scratch, reused across calls (a Thread is single-owner, so
 	// per-thread reuse is race-free and keeps batch reads allocation-flat).
@@ -303,6 +319,24 @@ func Open(opt Options) (*Store, error) {
 			rng:  rng.Split(),
 		})
 	}
+	// Shadow executors are split from the master RNG after every public
+	// thread, so existing seeds produce the same public-thread streams.
+	for i := 0; i < opt.NumThreads; i++ {
+		t := s.threads[i]
+		a := &asyncThread{
+			t: t,
+			lt: &Thread{
+				s:    s,
+				id:   i,
+				Clk:  sim.NewClock(0),
+				part: s.em.Register(),
+				buf:  s.pwbs[i],
+				rng:  rng.Split(),
+			},
+		}
+		a.cond = sync.NewCond(&a.mu)
+		t.async = a
+	}
 	if !opt.DisableMetrics {
 		s.reg = obs.NewRegistry()
 		s.registerMetrics()
@@ -334,6 +368,12 @@ func (s *Store) SSDs() []*ssd.Device { return s.ssds }
 func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return ErrClosed
+	}
+	// Stop admission loops first (closed is set, so still-queued
+	// submissions complete with ErrClosed) while reclamation/GC are
+	// still alive to serve any window already in flight.
+	for _, t := range s.threads {
+		t.async.stop()
 	}
 	close(s.stop)
 	s.bg.Wait()
@@ -371,6 +411,8 @@ func (s *Store) readVS(clk *sim.Clock, p hsit.Pointer) []byte {
 type Stats struct {
 	Puts, Gets, Deletes, Scans int64
 	BatchPuts, BatchGets       int64
+	AsyncPuts, AsyncGets       int64
+	AsyncDeletes               int64
 	SVCHits, PWBHits, VSReads  int64
 	UserBytesWritten           int64
 	Reclaims, PWBLiveMigrated  int64
@@ -391,6 +433,9 @@ func (s *Store) Stats() Stats {
 		Gets:               s.stats.gets.Load(),
 		BatchPuts:          s.stats.batchPuts.Load(),
 		BatchGets:          s.stats.batchGets.Load(),
+		AsyncPuts:          s.stats.asyncPuts.Load(),
+		AsyncGets:          s.stats.asyncGets.Load(),
+		AsyncDeletes:       s.stats.asyncDeletes.Load(),
 		Deletes:            s.stats.deletes.Load(),
 		Scans:              s.stats.scans.Load(),
 		SVCHits:            s.stats.svcHits.Load(),

@@ -83,3 +83,46 @@ func (t prismThread) PutBatch(pairs []Pair) error {
 func (t prismThread) MultiGet(keys [][]byte) ([][]byte, error) {
 	return t.t.MultiGet(keys)
 }
+
+// prismCompletion wraps a core Handle so errors surface as the engine's
+// sentinel (errors.Is-matching callers never see core.ErrNotFound).
+type prismCompletion struct{ h *core.Handle }
+
+func (c prismCompletion) Wait() error {
+	err := c.h.Wait()
+	if errors.Is(err, core.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (c prismCompletion) Value() ([]byte, error) {
+	v, err := c.h.Value()
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+func (c prismCompletion) Done() bool { return c.h.Done() }
+
+func (c prismCompletion) CompletedAt() int64 { return c.h.CompletedAt() }
+
+// PutAsync implements AsyncKV over the routed per-shard admission loops.
+func (t prismThread) PutAsync(key, value []byte) Completion {
+	return prismCompletion{t.t.PutAsync(key, value)}
+}
+
+// GetAsync implements AsyncKV.
+func (t prismThread) GetAsync(key []byte) Completion {
+	return prismCompletion{t.t.GetAsync(key)}
+}
+
+// DeleteAsync implements AsyncKV.
+func (t prismThread) DeleteAsync(key []byte) Completion {
+	return prismCompletion{t.t.DeleteAsync(key)}
+}
+
+// Flush implements AsyncKV: waits out every in-flight submission and
+// folds the per-shard async timelines into the handle's makespan clock.
+func (t prismThread) Flush() { t.t.Flush() }

@@ -46,6 +46,36 @@ type BatchKV interface {
 	MultiGet(keys [][]byte) ([][]byte, error)
 }
 
+// Completion is the future returned by an AsyncKV submission. All
+// methods are safe to call from any goroutine, repeatedly; a Completion
+// resolves exactly once.
+type Completion interface {
+	// Wait blocks until the operation completes and returns its error
+	// (ErrNotFound for a missing key on Get/Delete).
+	Wait() error
+	// Value blocks until completion and returns the result; only async
+	// gets produce a value.
+	Value() ([]byte, error)
+	// Done reports completion without blocking.
+	Done() bool
+	// CompletedAt blocks until completion and returns the virtual time
+	// (ns) at which the operation finished on its async timeline.
+	CompletedAt() int64
+}
+
+// AsyncKV is the optional asynchronous extension of KV: engines with a
+// native submission pipeline (Prism's per-thread admission loops)
+// implement it. Unlike KV's single-owner contract, the async methods
+// may be called from any goroutine; per-handle submissions apply in
+// submission order. Flush blocks until everything submitted has
+// completed and folds the async makespan into the handle's Clock.
+type AsyncKV interface {
+	PutAsync(key, value []byte) Completion
+	GetAsync(key []byte) Completion
+	DeleteAsync(key []byte) Completion
+	Flush()
+}
+
 // PutBatch writes pairs through kv: natively when kv implements BatchKV,
 // otherwise as a per-pair Put loop.
 func PutBatch(kv KV, pairs []Pair) error {

@@ -30,6 +30,10 @@ type serverMetrics struct {
 	multiExec  *obs.Counter
 	virtLat    *obs.Histogram
 	wallLat    *obs.Histogram
+
+	pipelineOps    *obs.Counter
+	pipelineBursts *obs.Counter
+	pipelineDepth  *obs.Histogram
 }
 
 // registerMetrics wires the server.* family into the store's registry.
@@ -54,6 +58,9 @@ func (s *Server) registerMetrics(r *obs.Registry) {
 	m.multiExec = r.Counter(obs.Desc{Name: "server.multi_exec", Help: "MULTI/EXEC blocks executed (queued commands batched on the pinned thread)", Unit: "txns"})
 	m.virtLat = r.Histogram(obs.Desc{Name: "server.cmd_virtual_ns", Help: "store-command latency in virtual time (engine cost)", Unit: "ns"})
 	m.wallLat = r.Histogram(obs.Desc{Name: "server.cmd_wall_ns", Help: "command latency in wall-clock time (host cost)", Unit: "ns"})
+	m.pipelineOps = r.Counter(obs.Desc{Name: "server.pipeline_ops", Help: "commands submitted through the async pipelined fast path", Unit: "ops"})
+	m.pipelineBursts = r.Counter(obs.Desc{Name: "server.pipeline_bursts", Help: "pipelined bursts drained (replies written in protocol order)", Unit: "bursts"})
+	m.pipelineDepth = r.Histogram(obs.Desc{Name: "server.pipeline_depth", Help: "pending completions per burst at drain", Unit: "ops"})
 }
 
 func (s *Server) countCommand(verb string) {

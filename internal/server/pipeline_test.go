@@ -1,0 +1,135 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestPipelinedBurst drives a deep single-connection pipeline through
+// the async fast path: replies come back in protocol order, later
+// commands in the burst observe earlier writes, and the pipeline
+// metrics record the burst.
+func TestPipelinedBurst(t *testing.T) {
+	store, addr := start(t, server.Config{})
+	c := dial(t, addr)
+
+	// One burst: SETs, then GETs of the same keys, then DEL/EXISTS —
+	// all flushed at once so the server sees them back-to-back.
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := c.Send("SET", fmt.Sprintf("pk%03d", i), fmt.Sprintf("pv%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := c.Send("GET", fmt.Sprintf("pk%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Send("DEL", "pk000")
+	c.Send("EXISTS", "pk000")
+	c.Send("EXISTS", "pk001")
+	c.Send("GET", "missing")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		r, err := c.Receive()
+		if err != nil || r.Str != "OK" {
+			t.Fatalf("SET %d reply: %+v, %v", i, r, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		r, err := c.Receive()
+		if err != nil || r.Str != fmt.Sprintf("pv%03d", i) {
+			t.Fatalf("GET %d reply: %+v, %v", i, r, err)
+		}
+	}
+	if r, err := c.Receive(); err != nil || r.Int != 1 {
+		t.Fatalf("DEL reply: %+v, %v", r, err)
+	}
+	if r, err := c.Receive(); err != nil || r.Int != 0 {
+		t.Fatalf("EXISTS deleted reply: %+v, %v", r, err)
+	}
+	if r, err := c.Receive(); err != nil || r.Int != 1 {
+		t.Fatalf("EXISTS live reply: %+v, %v", r, err)
+	}
+	if r, err := c.Receive(); err != nil || !r.Nil {
+		t.Fatalf("GET missing reply: %+v, %v", r, err)
+	}
+
+	// A lone follow-up command (sync path) still observes the burst.
+	if r, err := c.Do("GET", "pk042"); err != nil || r.Str != "pv042" {
+		t.Fatalf("lone GET after burst: %+v, %v", r, err)
+	}
+
+	snap := store.Metrics()
+	ops, _ := snap.Value("server.pipeline_ops")
+	bursts, _ := snap.Value("server.pipeline_bursts")
+	if ops == 0 || bursts == 0 {
+		t.Fatalf("pipeline metrics not recorded: ops=%v bursts=%v", ops, bursts)
+	}
+	if ops < float64(n) {
+		t.Fatalf("pipeline_ops = %v, want >= %d", ops, n)
+	}
+	// The store saw async submissions, i.e. the burst really took the
+	// admission-loop path rather than per-command dispatch.
+	if v, _ := snap.Value("core.async_ops"); v == 0 {
+		t.Fatal("no core async ops recorded for the burst")
+	}
+}
+
+// TestPipelinedMixedVerbs interleaves async-eligible commands with ones
+// that must drain the burst first (MGET, MULTI/EXEC): ordering and
+// visibility hold across the boundary.
+func TestPipelinedMixedVerbs(t *testing.T) {
+	_, addr := start(t, server.Config{})
+	c := dial(t, addr)
+
+	c.Send("SET", "a", "1")
+	c.Send("SET", "b", "2")
+	c.Send("MGET", "a", "b") // forces a drain before it runs
+	c.Send("SET", "a", "3")
+	c.Send("GET", "a")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if r, err := c.Receive(); err != nil || r.Str != "OK" {
+			t.Fatalf("SET %d: %+v, %v", i, r, err)
+		}
+	}
+	r, err := c.Receive()
+	if err != nil || len(r.Elems) != 2 || r.Elems[0].Str != "1" || r.Elems[1].Str != "2" {
+		t.Fatalf("MGET: %+v, %v", r, err)
+	}
+	if r, err := c.Receive(); err != nil || r.Str != "OK" {
+		t.Fatalf("SET after MGET: %+v, %v", r, err)
+	}
+	if r, err := c.Receive(); err != nil || r.Str != "3" {
+		t.Fatalf("GET after rewrite: %+v, %v", r, err)
+	}
+
+	// MULTI blocks bypass the async path entirely.
+	c.Send("MULTI")
+	c.Send("SET", "c", "4")
+	c.Send("GET", "c")
+	c.Send("EXEC")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := c.Receive(); err != nil || r.Str != "OK" {
+		t.Fatalf("MULTI: %+v, %v", r, err)
+	}
+	for i := 0; i < 2; i++ {
+		if r, err := c.Receive(); err != nil || r.Str != "QUEUED" {
+			t.Fatalf("QUEUED %d: %+v, %v", i, r, err)
+		}
+	}
+	if r, err := c.Receive(); err != nil || len(r.Elems) != 2 {
+		t.Fatalf("EXEC: %+v, %v", r, err)
+	}
+}

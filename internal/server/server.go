@@ -30,6 +30,18 @@
 // Pipelining: commands are executed in arrival order and replies are
 // buffered (bounded by Config.WriteBufBytes) until the input buffer
 // drains, so a deep pipeline costs one flush, not one per command.
+// Single-key GET/SET/DEL/EXISTS arriving as a pipelined burst go
+// further: each is submitted to the store's asynchronous admission
+// pipeline (core PutAsync/GetAsync/DeleteAsync) and its completion
+// handle is queued, so a burst of N commands coalesces into a handful
+// of admission windows — one epoch enter and one PWB publish window per
+// window instead of per command — while replies are still written in
+// protocol order when the burst drains. A lone command (nothing else
+// buffered, nothing pending) keeps the direct synchronous path, so
+// unpipelined clients see no added latency. The pending burst drains
+// before any other verb executes, which preserves the same-connection
+// guarantee: a command always observes the writes of every command
+// before it on that connection.
 //
 // Batching: MSET maps to the store's PutBatch and MGET to MultiGet, so a
 // multi-key command enters the epoch once instead of once per key. A
@@ -110,6 +122,19 @@ type queuedCmd struct {
 	args [][]byte
 }
 
+// pendingReply is one pipelined command in flight on the store's async
+// pipeline: the completion handle plus the verb that decides how to
+// render its result when the burst drains.
+type pendingReply struct {
+	verb string
+	h    *core.Handle
+}
+
+// maxPendingReplies bounds a connection's in-flight burst; past it the
+// burst drains inline before more commands are admitted (the store's
+// own AsyncMaxPending backpressure sits below this).
+const maxPendingReplies = 256
+
 // session is one connection's dispatch state: the pinned thread slot,
 // the MULTI transaction queue, and scratch slices reused across commands
 // so steady-state MGET/MSET/EXEC dispatch does not allocate per key.
@@ -122,6 +147,10 @@ type session struct {
 	kvs  []core.KV // PutBatch scratch (MSET, EXEC SET runs)
 	keys [][]byte  // MultiGet key scratch (EXEC GET runs)
 	vals [][]byte  // MultiGet value scratch (MGET, EXEC GET runs)
+
+	// pending is the connection's pipelined burst: async completion
+	// handles whose replies have not been written yet, in protocol order.
+	pending []pendingReply
 }
 
 // resetScratch drops references into command frames and store values so
@@ -318,17 +347,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		args, err := r.ReadCommand()
 		if err != nil {
+			// Write out whatever the burst already earned before closing.
+			s.drainPipeline(sess, w)
 			var pe *ProtocolError
 			if errors.As(err, &pe) {
 				s.m.parseErrs.Inc()
 				w.writeError("ERR " + pe.Error())
-				w.flush()
 			}
+			w.flush()
 			return
 		}
 		if len(args) == 0 {
 			continue
 		}
+		// Pipelined fast path: while more commands are buffered behind
+		// this one (or a burst is already in flight), single-key verbs are
+		// submitted asynchronously and their replies deferred, so the
+		// admission loop coalesces the burst into a few windows.
+		if (r.buffered() || len(sess.pending) > 0) && s.tryAsync(sess, args) {
+			if len(sess.pending) >= maxPendingReplies {
+				s.drainPipeline(sess, w)
+			}
+			if !r.buffered() {
+				s.drainPipeline(sess, w)
+				if w.flush() != nil {
+					return
+				}
+			}
+			continue
+		}
+		// Any other verb waits for the burst: replies stay in protocol
+		// order and the command observes every prior write.
+		s.drainPipeline(sess, w)
 		quit := s.dispatch(sess, w, args)
 		// Flush only once the pipeline drains: replies to back-to-back
 		// commands share one write.
@@ -341,6 +391,99 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// tryAsync submits one command to the store's asynchronous pipeline and
+// queues its completion for the next drain. It reports false for verbs
+// (or arities) that must take the synchronous dispatch path. Submission
+// needs no thread-slot lock: the async entry points are concurrency-safe
+// and never touch the router thread's scratch state.
+func (s *Server) tryAsync(sess *session, args [][]byte) bool {
+	if sess.inMulti {
+		return false
+	}
+	verb := strings.ToUpper(string(args[0]))
+	th := sess.slot.th
+	var h *core.Handle
+	switch verb {
+	case "GET":
+		if len(args) != 2 {
+			return false
+		}
+		h = th.GetAsync(args[1])
+	case "SET":
+		if len(args) != 3 {
+			return false
+		}
+		h = th.PutAsync(args[1], args[2])
+	case "DEL":
+		if len(args) != 2 {
+			return false
+		}
+		h = th.DeleteAsync(args[1])
+	case "EXISTS":
+		if len(args) != 2 {
+			return false
+		}
+		h = th.GetAsync(args[1])
+	default:
+		return false
+	}
+	s.countCommand(verb)
+	s.m.pipelineOps.Inc()
+	sess.pending = append(sess.pending, pendingReply{verb: verb, h: h})
+	return true
+}
+
+// drainPipeline waits out the connection's in-flight burst and writes
+// the replies in protocol order.
+func (s *Server) drainPipeline(sess *session, w *respWriter) {
+	if len(sess.pending) == 0 {
+		return
+	}
+	s.m.pipelineBursts.Inc()
+	s.m.pipelineDepth.Record(int64(len(sess.pending)))
+	for i := range sess.pending {
+		p := &sess.pending[i]
+		switch p.verb {
+		case "GET":
+			v, err := p.h.Value()
+			switch {
+			case err == nil:
+				w.writeBulk(v)
+			case errors.Is(err, core.ErrNotFound):
+				w.writeNil()
+			default:
+				w.writeError("ERR " + err.Error())
+			}
+		case "SET":
+			if err := p.h.Wait(); err != nil {
+				w.writeError("ERR " + err.Error())
+			} else {
+				w.writeSimple("OK")
+			}
+		case "DEL":
+			switch err := p.h.Wait(); {
+			case err == nil:
+				w.writeInt(1)
+			case errors.Is(err, core.ErrNotFound):
+				w.writeInt(0)
+			default:
+				w.writeError("ERR " + err.Error())
+			}
+		case "EXISTS":
+			switch err := p.h.Wait(); {
+			case err == nil:
+				w.writeInt(1)
+			case errors.Is(err, core.ErrNotFound):
+				w.writeInt(0)
+			default:
+				w.writeError("ERR " + err.Error())
+			}
+		}
+		p.h = nil
+	}
+	sess.pending = sess.pending[:0]
 }
 
 // dispatch executes one command and writes its reply. It returns true

@@ -255,6 +255,9 @@ func (s *Store) Stats() core.Stats {
 		t.Scans += st.Scans
 		t.BatchPuts += st.BatchPuts
 		t.BatchGets += st.BatchGets
+		t.AsyncPuts += st.AsyncPuts
+		t.AsyncGets += st.AsyncGets
+		t.AsyncDeletes += st.AsyncDeletes
 		t.SVCHits += st.SVCHits
 		t.PWBHits += st.PWBHits
 		t.VSReads += st.VSReads
@@ -327,4 +330,45 @@ func (t *Thread) Delete(key []byte) error {
 	err := t.ths[j].Delete(key)
 	t.sync(j)
 	return err
+}
+
+// PutAsync routes an asynchronous write to the owning shard's admission
+// loop and returns its completion Handle. Unlike the synchronous
+// methods, the async methods are safe to call from any goroutine (they
+// touch no router-thread scratch and the per-shard pipelines are
+// concurrency-safe); submissions retain per-shard submission order,
+// while cross-shard ordering is whatever the caller imposes by waiting
+// handles in submit order. The router thread's Clk is NOT advanced —
+// async work runs on each shard's own async timeline; Flush folds the
+// makespan in.
+func (t *Thread) PutAsync(key, value []byte) *core.Handle {
+	t.s.m.routedPut.Inc()
+	return t.ths[t.s.ShardOf(key)].PutAsync(key, value)
+}
+
+// GetAsync routes an asynchronous read to the owning shard's admission
+// loop. See PutAsync for the concurrency and ordering contract.
+func (t *Thread) GetAsync(key []byte) *core.Handle {
+	t.s.m.routedGet.Inc()
+	return t.ths[t.s.ShardOf(key)].GetAsync(key)
+}
+
+// DeleteAsync routes an asynchronous delete to the owning shard's
+// admission loop. See PutAsync for the concurrency contract.
+func (t *Thread) DeleteAsync(key []byte) *core.Handle {
+	t.s.m.routedDelete.Inc()
+	return t.ths[t.s.ShardOf(key)].DeleteAsync(key)
+}
+
+// Flush blocks until every async submission on this handle's per-shard
+// threads has completed, then folds each shard's async timeline into
+// the router thread's makespan clock: shards pipeline independently, so
+// the elapsed virtual time is the slowest shard's.
+func (t *Thread) Flush() {
+	for _, th := range t.ths {
+		th.Flush()
+	}
+	for _, th := range t.ths {
+		t.Clk.AdvanceTo(th.AsyncNow())
+	}
 }

@@ -38,9 +38,22 @@
 //	t.PutBatch([]prism.KV{{Key: k1, Value: v1}, {Key: k2, Value: v2}})
 //	vals, err := t.MultiGet([][]byte{k1, k2}) // nil entry = missing key
 //
+//	// Asynchronous submission goes further: PutAsync/GetAsync/
+//	// DeleteAsync return immediately with a completion Handle, and a
+//	// per-thread admission loop coalesces everything in flight into a
+//	// few epoch windows whose fixed device latencies overlap (§5.4's
+//	// TCQ/io_uring submission model). Handles resolve exactly once.
+//	h := t.PutAsync([]byte("k"), []byte("v"))
+//	g := t.GetAsync([]byte("k"))
+//	t.Flush()                // drain: block until all in flight complete
+//	if err := h.Wait(); err != nil { ... }
+//	v, err = g.Value()
+//
 // Thread handles are not safe for concurrent use; distinct handles run
 // in parallel and scale with the paper's cross-storage concurrency
-// control.
+// control. The asynchronous methods are the exception: they may be
+// called from any goroutine, and submissions through one handle apply
+// in submission order.
 //
 // # Sharding
 //
@@ -74,6 +87,12 @@ type Thread = shard.Thread
 
 // KV is one key-value pair yielded by Thread.Scan.
 type KV = core.KV
+
+// Handle is the completion future returned by the asynchronous
+// submission methods (Thread.PutAsync, GetAsync, DeleteAsync). Wait,
+// Value, and CompletedAt block until the operation completes; Done
+// polls. All methods are safe from any goroutine, repeatedly.
+type Handle = core.Handle
 
 // Stats is a snapshot of store counters.
 type Stats = core.Stats
