@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz-smoke fmt-check tidy-check ci check-docs
+.PHONY: all build vet test race bench bench-smoke fuzz-smoke fault-smoke bench-record bench-check ci-check fmt-check tidy-check ci check-docs
 
 all: build
 
@@ -27,6 +27,7 @@ test:
 race:
 	$(GO) test -race $$($(GO) list ./... | grep -v internal/bench)
 	$(GO) test -race -count=1 -run 'TestShardBatchFanoutStress$$' ./internal/shard
+	$(GO) test -race -count=1 -run 'TestReplicaFanoutStress$$' ./internal/shard
 	$(GO) test -race -count=1 -run 'TestAsyncCompletionStress$$' ./internal/core
 	$(GO) test -race -count=1 -run 'TestDiagPrismLoad$$' ./internal/bench
 
@@ -60,16 +61,46 @@ bench-smoke:
 
 # bench-record regenerates the committed benchmark trajectory: each
 # BENCH_<experiment>.json is the experiment's per-engine metric deltas
-# (obs Snapshot.Delta around the measured phase), so diffs across PRs
-# show how the counters — not just the headline Kops — moved.
+# (obs Snapshot.Delta around the measured phase) plus the phase's
+# virtual-time Kops, so diffs across PRs show how the counters — not
+# just the headline throughput — moved. BENCH_OUT redirects the output
+# directory (bench-check writes to a scratch dir to compare).
+BENCH_OUT ?= .
 bench-record:
-	$(GO) run ./cmd/prism-bench -run pipelinedepth -records 4000 -metrics-out BENCH_pipelinedepth.json
+	$(GO) run ./cmd/prism-bench -run pipelinedepth -records 4000 -metrics-out $(BENCH_OUT)/BENCH_pipelinedepth.json
+	$(GO) run ./cmd/prism-bench -run replication -records 4000 -metrics-out $(BENCH_OUT)/BENCH_replication.json
+
+# bench-check regenerates the trajectories into a scratch directory and
+# fails if any capture's virtual-time throughput regressed more than 25%
+# against the committed BENCH_*.json (or went missing). Virtual time
+# makes the comparison machine-independent, so the threshold guards
+# against algorithmic regressions, not runner noise.
+bench-check:
+	rm -rf .bench-new && mkdir -p .bench-new
+	$(MAKE) bench-record BENCH_OUT=.bench-new
+	$(GO) run ./cmd/prism-bench -compare BENCH_pipelinedepth.json,.bench-new/BENCH_pipelinedepth.json
+	$(GO) run ./cmd/prism-bench -compare BENCH_replication.json,.bench-new/BENCH_replication.json
 
 # fuzz-smoke runs a short fuzz pass over the RESP parser.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/server
 
-# ci is the full gate, mirrored by .github/workflows/ci.yml: build, vet,
+# fault-smoke is the replica-kill gate: crash a replica mid write-burst,
+# assert reads keep being served and no acked write is lost, then assert
+# anti-entropy repair converges to digest equality within a bounded
+# number of passes (see internal/shard/fault_test.go).
+fault-smoke:
+	$(GO) test -count=1 -run 'TestFaultMatrix$$' ./internal/shard
+
+# ci-check asserts the Makefile ci target and .github/workflows/ci.yml
+# stay in lockstep: every make target the workflow runs must be a
+# prerequisite of `ci`, and vice versa (see ci_parity_test.go).
+ci-check:
+	$(GO) test -run 'TestMakefileCIMatchesWorkflow$$' -count=1 .
+
+# ci is the full gate, mirrored target-for-target by
+# .github/workflows/ci.yml (ci-check enforces the mirror): build, vet,
 # formatting/tidy hygiene, plain and race-enabled tests, the METRICS.md
-# doc-link checker, and the benchmark smoke run.
-ci: build vet fmt-check tidy-check test race check-docs bench-smoke
+# doc-link checker, the benchmark/fuzz/fault smokes, and the
+# bench-trajectory regression check.
+ci: build vet fmt-check tidy-check test race check-docs bench-smoke fuzz-smoke fault-smoke bench-check ci-check

@@ -1,0 +1,65 @@
+package prism
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMakefileCIMatchesWorkflow keeps the Makefile `ci` target and
+// .github/workflows/ci.yml in lockstep: the set of make targets the
+// workflow invokes (`- run: make <target>`) must equal the prerequisite
+// list of `ci`, in both directions. This is the `make ci-check` gate —
+// it exists because the two drifted once (the workflow gained
+// fuzz-smoke while `ci` did not), which let "make ci passes" and "CI
+// passes" silently mean different things.
+func TestMakefileCIMatchesWorkflow(t *testing.T) {
+	mk, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := os.ReadFile(".github/workflows/ci.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ciLine := regexp.MustCompile(`(?m)^ci:\s*(.+)$`).FindSubmatch(mk)
+	if ciLine == nil {
+		t.Fatal("Makefile has no `ci:` target line")
+	}
+	ciSet := map[string]bool{}
+	for _, tgt := range strings.Fields(string(ciLine[1])) {
+		ciSet[tgt] = true
+	}
+
+	runLine := regexp.MustCompile(`(?m)^\s*-\s*run:\s*make\s+(\S+)\s*$`)
+	wfSet := map[string]bool{}
+	for _, m := range runLine.FindAllSubmatch(wf, -1) {
+		wfSet[string(m[1])] = true
+	}
+	if len(wfSet) == 0 {
+		t.Fatal("ci.yml invokes no `make <target>` steps — the parity check is matching nothing")
+	}
+
+	var missing, extra []string
+	for tgt := range wfSet {
+		if !ciSet[tgt] {
+			missing = append(missing, tgt)
+		}
+	}
+	for tgt := range ciSet {
+		if !wfSet[tgt] {
+			extra = append(extra, tgt)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing) > 0 {
+		t.Errorf("ci.yml runs make target(s) %v that are not prerequisites of the Makefile `ci` target", missing)
+	}
+	if len(extra) > 0 {
+		t.Errorf("Makefile `ci` target lists %v which no ci.yml job runs", extra)
+	}
+}

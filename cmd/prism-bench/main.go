@@ -19,6 +19,8 @@
 //	-zipf F      zipfian coefficient (default 0.99)
 //	-shards N    run Prism as N independent stores behind the hash router
 //	             (default 1; see the shardscale experiment for a sweep)
+//	-replicas N  place each key on N shards of the router ring (default 1
+//	             = unreplicated; see the replication experiment)
 //	-pipeline N  submit ops through the async pipeline, draining every N
 //	             submissions (default 1 = synchronous; see the
 //	             pipelinedepth experiment for a sweep)
@@ -36,6 +38,13 @@
 //	-metrics-out FILE   write the metrics document to FILE instead of
 //	                    stdout (`make bench-record` uses this to commit
 //	                    BENCH_<experiment>.json trajectory snapshots)
+//
+// Trajectory gating (`make bench-check` / the CI bench-record job):
+//
+//	-compare OLD,NEW        compare two trajectory JSON documents and exit
+//	                        1 if any capture's throughput regressed beyond
+//	                        the threshold (or went missing)
+//	-compare-threshold F    allowed fractional drop (default 0.25 = 25%)
 package main
 
 import (
@@ -60,17 +69,51 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		batch   = flag.Int("batch", 1, "group consecutive same-kind ops into PutBatch/MultiGet windows of this size")
 		shards  = flag.Int("shards", 1, "run Prism as this many independent stores behind the hash router")
+		reps    = flag.Int("replicas", 1, "place each key on this many shards of the router ring")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		metrics = flag.Bool("metrics", false, "print a final metrics-snapshot document (see METRICS.md)")
 		mformat = flag.String("metrics-format", "json", "metrics output format: json or prom")
 		every   = flag.Int64("metrics-every", 0, "also sample metrics every N virtual ms (implies -metrics)")
 		mout    = flag.String("metrics-out", "", "write the metrics document to this file instead of stdout (implies -metrics)")
 		pipe    = flag.Int("pipeline", 1, "submit ops through the async pipeline, draining every N submissions")
+		compare = flag.String("compare", "", "OLD,NEW: compare two trajectory JSON files, exit 1 on regression")
+		cthresh = flag.Float64("compare-threshold", 0.25, "allowed fractional throughput drop for -compare")
 	)
 	flag.Parse()
 	if *mformat != "json" && *mformat != "prom" {
 		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (json or prom)\n", *mformat)
 		os.Exit(1)
+	}
+	if *compare != "" {
+		parts := strings.Split(*compare, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "-compare wants OLD,NEW (two trajectory JSON files)")
+			os.Exit(1)
+		}
+		oldDoc, err := os.ReadFile(strings.TrimSpace(parts[0]))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(1)
+		}
+		newDoc, err := os.ReadFile(strings.TrimSpace(parts[1]))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(1)
+		}
+		failures, err := bench.CompareTrajectories(oldDoc, newDoc, *cthresh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(1)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "trajectory regression (threshold %.0f%%):\n", *cthresh*100)
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("trajectories within %.0f%%: %s vs %s\n", *cthresh*100, parts[0], parts[1])
+		return
 	}
 
 	if *list || *run == "" {
@@ -94,6 +137,7 @@ func main() {
 		Batch:     *batch,
 		Pipeline:  *pipe,
 		Shards:    *shards,
+		Replicas:  *reps,
 	}
 	var mc *bench.MetricsCollector
 	if *metrics || *every > 0 || *mout != "" {

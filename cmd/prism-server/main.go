@@ -19,6 +19,8 @@
 //	-keys N       HSIT capacity = max live keys (default 1<<20)
 //	-shards N     independent store shards behind the hash router
 //	              (default 1; every shard gets the full sizing above)
+//	-replicas N   place each key on N shards of the ring for failover
+//	              (default 1 = unreplicated; requires -shards >= N)
 //
 // Server behavior:
 //
@@ -56,6 +58,7 @@ func main() {
 		svcBytes     = flag.Int64("svc-bytes", 16<<20, "DRAM value-cache budget")
 		keys         = flag.Int("keys", 1<<20, "HSIT capacity (max live keys)")
 		shards       = flag.Int("shards", 1, "independent store shards behind the hash router")
+		replicas     = flag.Int("replicas", 1, "place each key on this many shards of the router ring")
 		maxConns     = flag.Int("max-conns", 256, "max concurrent client connections")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget")
@@ -72,6 +75,7 @@ func main() {
 		SSDBytes:          *ssdBytes,
 		SVCBytes:          *svcBytes,
 		Shards:            *shards,
+		Replicas:          *replicas,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)

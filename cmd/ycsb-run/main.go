@@ -12,6 +12,8 @@
 // Workloads: L (load only), A, B, C, D, E, N (Nutanix mix).
 // -shards N runs Prism as N independent stores behind the hash router
 // (baselines ignore it).
+// -replicas N places each key on N shards of the router ring with
+// last-writer-wins replication (Prism only; requires -shards >= N).
 // -pipeline N submits ops through the engine's async pipeline, draining
 // every N submissions (engines without one fall back to sync calls).
 // -metrics prints the store's final obs snapshot (METRICS.md) as the last
@@ -42,6 +44,7 @@ func main() {
 		batch      = flag.Int("batch", 1, "group consecutive same-kind ops into PutBatch/MultiGet windows of this size")
 		pipeline   = flag.Int("pipeline", 1, "submit ops through the async pipeline, draining every N submissions (Prism only)")
 		shards     = flag.Int("shards", 1, "run Prism as this many independent stores behind the hash router")
+		replicas   = flag.Int("replicas", 1, "place each key on this many shards of the router ring (Prism only)")
 		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot (see METRICS.md)")
 		mformat    = flag.String("metrics-format", "json", "metrics output format: json or prom")
 	)
@@ -68,6 +71,7 @@ func main() {
 		Records:   *records,
 		ValueSize: *value,
 		Shards:    *shards,
+		Replicas:  *replicas,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -18,8 +18,9 @@ var metricsDocRow = regexp.MustCompile("(?m)^\\| `([a-z0-9_.]+)`")
 // and every exported metric must be documented. The export set is the
 // union of the default configuration, the DisableCombining ablation
 // (which swaps the tcq.* family for ta.*), a sharded store (the shard.*
-// router family), and a store with a RESP server attached (which
-// contributes the server.* family).
+// router family), a replicated store (the shard.replica_* and repair.*
+// families), and a store with a RESP server attached (which contributes
+// the server.* family).
 func TestMetricsDocsComplete(t *testing.T) {
 	doc, err := os.ReadFile("METRICS.md")
 	if err != nil {
@@ -34,7 +35,7 @@ func TestMetricsDocsComplete(t *testing.T) {
 	}
 
 	exported := map[string]bool{}
-	for _, opt := range []Options{{}, {DisableCombining: true}, {Shards: 2}} {
+	for _, opt := range []Options{{}, {DisableCombining: true}, {Shards: 2}, {Shards: 3, Replicas: 2}} {
 		st, err := Open(opt)
 		if err != nil {
 			t.Fatal(err)

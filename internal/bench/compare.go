@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CompareTrajectories diffs two committed bench-trajectory documents
+// (the JSON `make bench-record` writes): captures are matched by
+// (engine, workload), and every matched capture whose new virtual-time
+// throughput fell below old*(1-threshold) produces one failure line, as
+// does a workload present in the old document but missing from the new
+// one (a silently dropped measurement must not read as a pass).
+// Captures without a recorded KOps (older documents, or phases that do
+// not measure throughput) are skipped. The returned slice is empty when
+// the new trajectory is acceptable.
+func CompareTrajectories(oldDoc, newDoc []byte, threshold float64) ([]string, error) {
+	type doc struct {
+		Captures []EngineMetrics `json:"captures"`
+	}
+	var od, nd doc
+	if err := json.Unmarshal(oldDoc, &od); err != nil {
+		return nil, fmt.Errorf("bench: old trajectory: %w", err)
+	}
+	if err := json.Unmarshal(newDoc, &nd); err != nil {
+		return nil, fmt.Errorf("bench: new trajectory: %w", err)
+	}
+	key := func(m EngineMetrics) string { return m.Engine + "/" + m.Workload }
+	newKOps := map[string]float64{}
+	for _, m := range nd.Captures {
+		newKOps[key(m)] = m.KOps
+	}
+	var failures []string
+	for _, m := range od.Captures {
+		if m.KOps == 0 {
+			continue
+		}
+		got, ok := newKOps[key(m)]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from new trajectory (old %.1f Kops/sec)", key(m), m.KOps))
+			continue
+		}
+		if got < m.KOps*(1-threshold) {
+			failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f Kops/sec (-%.1f%%, threshold %.0f%%)",
+				key(m), m.KOps, got, (1-got/m.KOps)*100, threshold*100))
+		}
+	}
+	return failures, nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareTrajectories exercises the regression gate's decision
+// table: pass within threshold, fail past it, fail on a dropped
+// workload, and skip captures with no recorded throughput.
+func TestCompareTrajectories(t *testing.T) {
+	old := []byte(`{"captures":[
+		{"engine":"prism","workload":"depth-1","kops":100},
+		{"engine":"prism","workload":"depth-2","kops":200},
+		{"engine":"prism","workload":"legacy","kops":0}
+	]}`)
+
+	t.Run("within threshold", func(t *testing.T) {
+		newer := []byte(`{"captures":[
+			{"engine":"prism","workload":"depth-1","kops":80},
+			{"engine":"prism","workload":"depth-2","kops":210}
+		]}`)
+		failures, err := CompareTrajectories(old, newer, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("expected pass, got failures: %v", failures)
+		}
+	})
+
+	t.Run("regression past threshold", func(t *testing.T) {
+		newer := []byte(`{"captures":[
+			{"engine":"prism","workload":"depth-1","kops":50},
+			{"engine":"prism","workload":"depth-2","kops":210}
+		]}`)
+		failures, err := CompareTrajectories(old, newer, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "depth-1") {
+			t.Fatalf("expected one depth-1 regression, got %v", failures)
+		}
+	})
+
+	t.Run("missing workload fails", func(t *testing.T) {
+		newer := []byte(`{"captures":[
+			{"engine":"prism","workload":"depth-1","kops":100}
+		]}`)
+		failures, err := CompareTrajectories(old, newer, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+			t.Fatalf("expected one missing-workload failure, got %v", failures)
+		}
+	})
+
+	t.Run("zero-kops old captures are skipped", func(t *testing.T) {
+		// "legacy" has kops 0 in old and is absent from new; it must
+		// not count as missing.
+		newer := []byte(`{"captures":[
+			{"engine":"prism","workload":"depth-1","kops":100},
+			{"engine":"prism","workload":"depth-2","kops":200}
+		]}`)
+		failures, err := CompareTrajectories(old, newer, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("expected legacy capture skipped, got %v", failures)
+		}
+	})
+
+	t.Run("malformed document errors", func(t *testing.T) {
+		if _, err := CompareTrajectories([]byte("{"), old, 0.25); err == nil {
+			t.Fatal("expected error on malformed old document")
+		}
+		if _, err := CompareTrajectories(old, []byte("{"), 0.25); err == nil {
+			t.Fatal("expected error on malformed new document")
+		}
+	})
+}

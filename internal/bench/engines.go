@@ -39,6 +39,11 @@ type Params struct {
 	// Prism shards (the baselines ignore it).
 	Shards int
 
+	// Replicas > 1 places each key on that many ring-successor shards
+	// with last-writer-wins reconciliation (requires Shards >= Replicas).
+	// Only Prism replicates (the baselines ignore it).
+	Replicas int
+
 	// PrismMut lets experiments override Prism options (ablations,
 	// sweeps). Applied after scaling.
 	PrismMut func(*core.Options)
@@ -90,6 +95,7 @@ func PrismOptions(p Params) core.Options {
 		SVCBytes:          clamp64(ds*20/100, 256<<10, 1<<40),
 		QueueDepth:        p.QueueDepth,
 		Shards:            p.Shards,
+		Replicas:          p.Replicas,
 	}
 	if p.PrismMut != nil {
 		p.PrismMut(&opt)

@@ -32,6 +32,9 @@ func runSuite(kinds []string, workloads []ycsb.Workload, p Params, rc RunConfig)
 		if pk.Shards == 0 {
 			pk.Shards = rc.Shards
 		}
+		if pk.Replicas == 0 {
+			pk.Replicas = rc.Replicas
+		}
 		if kind == EngineSLMDB {
 			pk.Threads = 1 // open-source SLM-DB is single-threaded (§7.4)
 		}
@@ -759,7 +762,7 @@ func PipelineDepth(rc RunConfig) Table {
 			if hasMetrics {
 				rc.Metrics.CaptureSnapshot(EnginePrism,
 					fmt.Sprintf("pipelinedepth-%d-shards%d", d, shards),
-					src.Metrics().Delta(pre))
+					r.KOpsPerSec(), src.Metrics().Delta(pre))
 			}
 			st.Close()
 			kops[si] = r.KOpsPerSec()
@@ -803,6 +806,7 @@ var Experiments = map[string]func(rc RunConfig) []Table{
 	"pipelinedepth": func(rc RunConfig) []Table {
 		return []Table{PipelineDepth(rc)}
 	},
+	"replication": func(rc RunConfig) []Table { return []Table{Replication(rc)} },
 }
 
 // ExperimentNames returns the sorted experiment list.

@@ -26,6 +26,7 @@ type MetricsSource interface {
 type EngineMetrics struct {
 	Engine   string         `json:"engine"`
 	Workload string         `json:"workload,omitempty"`
+	KOps     float64        `json:"kops,omitempty"` // virtual-time throughput of the captured phase
 	Snapshot obs.Snapshot   `json:"snapshot"`
 	Timeline []MetricSample `json:"timeline,omitempty"`
 }
@@ -71,10 +72,12 @@ func (mc *MetricsCollector) Capture(store any, engineName, workload string, time
 
 // CaptureSnapshot records an already-built snapshot — typically a
 // Snapshot.Delta around one measured phase, the per-PR bench-trajectory
-// form (`make bench-record`). Series with no activity in the interval
-// (zero counters, empty histograms, zero gauges) are dropped, so the
-// committed trajectory diffs stay small and all-signal.
-func (mc *MetricsCollector) CaptureSnapshot(engineName, workload string, snap obs.Snapshot) {
+// form (`make bench-record`) — together with the phase's virtual-time
+// throughput (kops, 0 to omit), which CompareTrajectories gates on.
+// Series with no activity in the interval (zero counters, empty
+// histograms, zero gauges) are dropped, so the committed trajectory
+// diffs stay small and all-signal.
+func (mc *MetricsCollector) CaptureSnapshot(engineName, workload string, kops float64, snap obs.Snapshot) {
 	if mc == nil {
 		return
 	}
@@ -97,6 +100,7 @@ func (mc *MetricsCollector) CaptureSnapshot(engineName, workload string, snap ob
 	mc.captures = append(mc.captures, EngineMetrics{
 		Engine:   engineName,
 		Workload: workload,
+		KOps:     kops,
 		Snapshot: active,
 	})
 	mc.mu.Unlock()

@@ -36,6 +36,11 @@ type RunConfig struct {
 	// the hash router (default 1; baselines ignore it).
 	Shards int
 
+	// Replicas places each key on that many shards of the router ring
+	// (default 1 = unreplicated; requires Shards >= Replicas). Only
+	// Prism replicates (the baselines ignore it).
+	Replicas int
+
 	// Batch, when > 1, groups consecutive same-kind operations into
 	// windows of up to Batch and issues them through engine.PutBatch /
 	// engine.MultiGet — native single-epoch batches on Prism, plain

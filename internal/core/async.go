@@ -49,9 +49,14 @@ type Handle struct {
 	op     asyncOp
 	key    []byte
 	val    []byte // put: input value until applied; get: result value
+	ts     uint64 // nonzero: timestamped variant (PutTSAsync/DeleteTSAsync)
 	err    error
 	doneNS int64
 	done   chan struct{}
+
+	// cbMu guards cb against a concurrent completion; see OnDone.
+	cbMu sync.Mutex
+	cb   func(*Handle)
 }
 
 // Wait blocks until the operation completes and returns its error:
@@ -85,6 +90,49 @@ func (h *Handle) Done() bool {
 func (h *Handle) CompletedAt() int64 {
 	<-h.done
 	return h.doneNS
+}
+
+// OnDone registers fn to run exactly once when the handle completes,
+// called from the completing goroutine — or inline, before OnDone
+// returns, if the handle already completed. At most one callback per
+// handle. The shard router uses it to compose replica fan-out handles
+// without burning a goroutine per submission; fn must not block.
+func (h *Handle) OnDone(fn func(*Handle)) {
+	h.cbMu.Lock()
+	select {
+	case <-h.done:
+		h.cbMu.Unlock()
+		fn(h)
+		return
+	default:
+	}
+	h.cb = fn
+	h.cbMu.Unlock()
+}
+
+// finish closes the done channel and fires any registered callback.
+// Result fields must be set before calling.
+func (h *Handle) finish() {
+	h.cbMu.Lock()
+	close(h.done)
+	cb := h.cb
+	h.cb = nil
+	h.cbMu.Unlock()
+	if cb != nil {
+		cb(h)
+	}
+}
+
+// NewProxyHandle returns an unresolved Handle plus the function that
+// resolves it. The shard router aggregates per-replica completions into
+// one caller-visible handle this way. resolve must be called exactly
+// once; doneNS is the completion time reported by CompletedAt.
+func NewProxyHandle() (h *Handle, resolve func(val []byte, err error, doneNS int64)) {
+	h = &Handle{done: make(chan struct{})}
+	return h, func(val []byte, err error, doneNS int64) {
+		h.val, h.err, h.doneNS = val, err, doneNS
+		h.finish()
+	}
 }
 
 // completedHandle returns an already-completed Handle carrying err
@@ -216,7 +264,7 @@ func (a *asyncThread) submit(h *Handle) *Handle {
 	if a.stopping || s.closed.Load() {
 		a.mu.Unlock()
 		h.err = ErrClosed
-		close(h.done)
+		h.finish()
 		return h
 	}
 	a.queue = append(a.queue, h)
@@ -328,7 +376,7 @@ func (a *asyncThread) complete(h *Handle, val []byte, err error, at, t0 int64) {
 	}
 	h.val, h.err, h.doneNS = val, err, at
 	a.t.s.asyncLat.Record(at - t0)
-	close(h.done)
+	h.finish()
 }
 
 // runPuts applies one run of puts, retrying stalled passes under the
@@ -389,7 +437,9 @@ func (a *asyncThread) putPass(hs []*Handle) int {
 		base.Advance(asyncIssueNS)
 		stage := sim.NewClock(base.Now())
 		lt.Clk = stage
-		err := lt.putStep(h.key, h.val, false)
+		// putStepTS falls straight through to putStep when the handle
+		// carries no stamp (the non-replicated path).
+		err := lt.putStepTS(h.key, h.val, h.ts, false)
 		lt.Clk = base
 		if err == errRetryPut {
 			return i
@@ -499,7 +549,16 @@ func (a *asyncThread) deletePass(hs []*Handle) {
 		base.Advance(asyncIssueNS)
 		stage := sim.NewClock(base.Now())
 		lt.Clk = stage
-		err := lt.deleteStep(h.key)
+		var err error
+		if h.ts != 0 && lt.s.repl != nil {
+			found, derr := lt.deleteStepTS(h.key, h.ts)
+			err = derr
+			if derr == nil && !found {
+				err = ErrNotFound
+			}
+		} else {
+			err = lt.deleteStep(h.key)
+		}
 		lt.Clk = base
 		if end := stage.Now(); end > endMax {
 			endMax = end

@@ -99,6 +99,34 @@ type Options struct {
 	// than silently ignoring the request.
 	Shards int
 
+	// Replicas is likewise consumed by the sharding router: values > 1
+	// place each key on that many shards (primary + N-1 successors on
+	// the ring) with timestamped last-writer-wins writes and background
+	// anti-entropy repair. core.Open rejects Replicas > 1; a lone core
+	// store has nothing to replicate onto.
+	Replicas int
+
+	// TrackTimestamps keeps a per-key logical-timestamp map (newest
+	// write or tombstone stamp) alongside the Persistent Key Index and
+	// enables the TS operation variants (PutTS/DeleteTS/PutBatchTS and
+	// their async forms). The router sets it automatically when
+	// Replicas > 1. Stamp state is modeled as NVM-resident: like the key
+	// index it survives Crash in-process.
+	TrackTimestamps bool
+
+	// TombstoneGraceWrites is how many logical stamps a tombstone is
+	// retained for after its delete before a full repair pass may
+	// discard it (creiht/valuestore "tombstone age" in stamp units,
+	// since the simulation has no wall clock). Discarding is only ever
+	// done by the router's Repair when every replica is up. Default 4096.
+	TombstoneGraceWrites uint64
+
+	// DisableAutoRepair stops the router from starting its background
+	// anti-entropy worker; RecoverShard then leaves the shard in the
+	// repairing state until the application drives Repair/RepairShard
+	// itself (what the fault-injection tests do to count passes).
+	DisableAutoRepair bool
+
 	Seed uint64
 }
 
@@ -138,6 +166,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.TimeoutNS == 0 {
 		o.TimeoutNS = 100_000
+	}
+	if o.TombstoneGraceWrites == 0 {
+		o.TombstoneGraceWrites = 4096
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -180,6 +211,10 @@ type Store struct {
 	lastRewrite int64 // guarded by svcMu; paces scan-range rewrites
 
 	stats statsCounters
+
+	// repl is the per-key newest-stamp map for replication (nil unless
+	// Options.TrackTimestamps); see repl.go.
+	repl *replState
 
 	// Observability (nil when Options.DisableMetrics): the registry and
 	// the owned hot-path histograms of op latency in virtual ns.
@@ -241,6 +276,9 @@ func Open(opt Options) (*Store, error) {
 	if opt.Shards > 1 {
 		return nil, errors.New("prism: Shards > 1 requires the sharding router (use prism.Open, not core.Open)")
 	}
+	if opt.Replicas > 1 {
+		return nil, errors.New("prism: Replicas > 1 requires the sharding router (use prism.Open, not core.Open)")
+	}
 	if opt.NumSSDs > 64 {
 		return nil, errors.New("prism: at most 64 SSDs (global offset encoding)")
 	}
@@ -272,6 +310,9 @@ func Open(opt Options) (*Store, error) {
 		gcClk:   sim.NewClock(0),
 		svcClk:  sim.NewClock(0),
 		pwbBase: pwbBase,
+	}
+	if opt.TrackTimestamps {
+		s.repl = newReplState()
 	}
 	s.reclaimStall = make([]atomic.Int64, opt.NumThreads)
 	for i := 0; i < opt.NumThreads; i++ {

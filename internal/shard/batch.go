@@ -24,6 +24,9 @@ func (t *Thread) PutBatch(kvs []core.KV) error {
 		return nil
 	}
 	s.m.batchPut.Inc()
+	if s.replicas > 1 {
+		return t.putBatchReplicated(kvs)
+	}
 	if len(s.shards) == 1 {
 		s.m.fanout.Record(1)
 		err := t.ths[0].PutBatch(kvs)
@@ -84,6 +87,9 @@ func (t *Thread) MultiGet(keys [][]byte) ([][]byte, error) {
 // order always matches the key order given, regardless of fan-out.
 func (t *Thread) MultiGetInto(keys [][]byte, vals [][]byte) ([][]byte, error) {
 	s := t.s
+	if s.replicas > 1 {
+		return t.multiGetReplicated(keys, vals)
+	}
 	if len(s.shards) == 1 {
 		if len(keys) > 0 {
 			s.m.batchGet.Inc()

@@ -15,6 +15,19 @@ type routerMetrics struct {
 	crossPut, crossGet       *obs.Counter
 	scanMerges               *obs.Counter
 	fanout                   *obs.Histogram
+
+	// Replication (registered only when Replicas > 1, so the
+	// single-replica export stays exactly what it was).
+	replicaPut, replicaDelete *obs.Counter
+	replicaSkips              *obs.Counter
+	replicaErrors             *obs.Counter
+	replicaFallbacks          *obs.Counter
+	replicaReads              []*obs.Counter // by position in the replica set
+	repairPasses              *obs.Counter
+	repairKeysPulled          *obs.Counter
+	repairTombsPulled         *obs.Counter
+	repairTombsDiscarded      *obs.Counter
+	repairConverged           *obs.Counter
 }
 
 func (s *Store) registerMetrics() {
@@ -38,6 +51,9 @@ func (s *Store) registerMetrics() {
 			Labels: map[string]string{"shard": strconv.Itoa(i)}},
 			func() float64 { return float64(cs.Len()) })
 	}
+	if s.replicas > 1 {
+		s.registerReplicaMetrics()
+	}
 	r.GaugeFunc(obs.Desc{Name: "shard.imbalance", Help: "max/mean live keys across shards (1.0 = perfectly balanced, 0 = empty)", Unit: "ratio"},
 		func() float64 {
 			var total, max int
@@ -54,6 +70,36 @@ func (s *Store) registerMetrics() {
 			mean := float64(total) / float64(len(s.shards))
 			return float64(max) / mean
 		})
+}
+
+// registerReplicaMetrics registers the replication and anti-entropy
+// families; only replicated stores export them.
+func (s *Store) registerReplicaMetrics() {
+	r := s.reg
+	op := func(v string) map[string]string { return map[string]string{"op": v} }
+	r.GaugeFunc(obs.Desc{Name: "shard.replica_factor", Help: "replica count per key", Unit: "replicas"},
+		func() float64 { return float64(s.replicas) })
+	s.m.replicaPut = r.Counter(obs.Desc{Name: "shard.replica_writes", Help: "per-replica write applications fanned out by the router", Unit: "ops", Labels: op("put")})
+	s.m.replicaDelete = r.Counter(obs.Desc{Name: "shard.replica_writes", Help: "per-replica write applications fanned out by the router", Unit: "ops", Labels: op("delete")})
+	s.m.replicaSkips = r.Counter(obs.Desc{Name: "shard.replica_write_skips", Help: "write fan-out legs skipped because the replica was down", Unit: "ops"})
+	s.m.replicaErrors = r.Counter(obs.Desc{Name: "shard.replica_errors", Help: "write fan-out legs that failed (crashed mid-op or store error)", Unit: "ops"})
+	s.m.replicaFallbacks = r.Counter(obs.Desc{Name: "shard.replica_read_fallbacks", Help: "reads served by a non-primary or repairing replica", Unit: "ops"})
+	s.m.replicaReads = make([]*obs.Counter, s.replicas)
+	for m := 0; m < s.replicas; m++ {
+		s.m.replicaReads[m] = r.Counter(obs.Desc{Name: "shard.replica_reads", Help: "reads served, by position in the key's replica set (0 = primary)", Unit: "ops",
+			Labels: map[string]string{"replica": strconv.Itoa(m)}})
+	}
+	for j := range s.shards {
+		j := j
+		r.GaugeFunc(obs.Desc{Name: "shard.replica_state", Help: "replica availability: 0 up, 1 down, 2 repairing", Unit: "state",
+			Labels: map[string]string{"shard": strconv.Itoa(j)}},
+			func() float64 { return float64(s.state[j].Load()) })
+	}
+	s.m.repairPasses = r.Counter(obs.Desc{Name: "repair.passes", Help: "anti-entropy pull passes run", Unit: "passes"})
+	s.m.repairKeysPulled = r.Counter(obs.Desc{Name: "repair.keys_pulled", Help: "live values re-replicated by anti-entropy", Unit: "keys"})
+	s.m.repairTombsPulled = r.Counter(obs.Desc{Name: "repair.tombstones_pulled", Help: "tombstones propagated by anti-entropy", Unit: "keys"})
+	s.m.repairTombsDiscarded = r.Counter(obs.Desc{Name: "repair.tombstones_discarded", Help: "tombstones dropped after the grace window", Unit: "keys"})
+	s.m.repairConverged = r.Counter(obs.Desc{Name: "repair.converged", Help: "repair cycles that converged a repairing replica to up", Unit: "events"})
 }
 
 // Metrics merges the router's own snapshot with every shard's. With one

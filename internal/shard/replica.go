@@ -1,0 +1,611 @@
+package shard
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Replica placement and the replicated operation paths. Placement rides
+// the existing jump-hash ring: a key's replica set is its jump primary
+// plus the next Replicas-1 shards in ring order, so Replicas=1
+// degenerates to plain sharding and growing the shard count still moves
+// only ~1/n of (primary) placements.
+//
+// Every write draws one store-wide logical timestamp (Store.stamp) and
+// applies it on each replica through core's last-writer-wins TS layer,
+// which makes the fan-out idempotent and replica repair a pure
+// "pull anything newer" pass (repair.go).
+
+// Per-shard replica states. A shard is born up; CrashShard marks it
+// down (writes skip it, reads route around it); RecoverShard moves it
+// to repairing (it accepts new writes and repair pulls, but reads avoid
+// it — it may still be missing history); a converged repair pass marks
+// it up again. Exported via ReplicaState and the shard.replica_state
+// gauge.
+const (
+	replicaUp        = int32(0)
+	replicaDown      = int32(1)
+	replicaRepairing = int32(2)
+)
+
+// errNoReplica reports an operation that found no live replica at all —
+// every shard in the key's set was crashed.
+var errNoReplica = errors.New("prism: no live replica for key")
+
+// Replicas returns the replica factor (1 = unreplicated).
+func (s *Store) Replicas() int { return s.replicas }
+
+// ReplicaState reports shard j's availability state: 0 up, 1 down
+// (crashed), 2 repairing (recovered, anti-entropy still converging).
+func (s *Store) ReplicaState(j int) int { return int(s.state[j].Load()) }
+
+func (s *Store) setState(j int, st int32) { s.state[j].Store(st) }
+
+// Replica states change only through CrashShard, RecoverShard, and
+// repair-pass promotion — never from operation paths. An operation that
+// observes ErrClosed treats the replica as unavailable for that attempt
+// (CrashShard stores the down state before crashing the shard, so a
+// fresh state read is authoritative); writing the state from the
+// observer would race a concurrent RecoverShard and wedge a healthy
+// replica down.
+
+// writeRetries bounds the re-attempts a synchronous replicated
+// operation makes when a replica crashes underneath it mid-operation:
+// each retry re-reads the replica states, so an op racing a
+// crash/recover transition lands on whichever replicas are now live
+// instead of failing spuriously.
+const writeRetries = 4
+
+// replicaSet appends key's shard set to buf (reused scratch): the jump
+// primary first, then its ring successors.
+func (s *Store) replicaSet(key []byte, buf []int) []int {
+	p := s.ShardOf(key)
+	buf = buf[:0]
+	for k := 0; k < s.replicas; k++ {
+		buf = append(buf, (p+k)%len(s.shards))
+	}
+	return buf
+}
+
+// nextStamp draws one logical timestamp. Stamps are store-wide and
+// strictly increasing; they order writes for last-writer-wins
+// reconciliation, not for linearizability (which single-key ops get
+// from the per-key stripe serialization in core).
+func (s *Store) nextStamp() uint64 { return s.stamp.Add(1) }
+
+// putReplicated fans one write out to every live replica in the key's
+// set under one stamp. The write acknowledges when at least one replica
+// accepted it; replicas that are down are skipped (repair converges
+// them later). If every attempted replica turns out to be closed — the
+// op raced a crash — the fan-out retries with fresh states (the stamp
+// stays fixed, so partial applications are idempotent).
+func (t *Thread) putReplicated(key, value []byte) error {
+	s := t.s
+	ts := s.nextStamp()
+	for attempt := 0; ; attempt++ {
+		t.rset = s.replicaSet(key, t.rset)
+		acked, closed := 0, false
+		var firstErr error
+		for _, j := range t.rset {
+			if s.state[j].Load() == replicaDown {
+				s.m.replicaSkips.Inc()
+				continue
+			}
+			err := t.ths[j].PutTS(key, value, ts)
+			t.sync(j)
+			switch {
+			case err == nil:
+				acked++
+				s.m.replicaPut.Inc()
+			case errors.Is(err, core.ErrClosed):
+				closed = true
+				s.m.replicaErrors.Inc()
+			default:
+				s.m.replicaErrors.Inc()
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if acked > 0 {
+			return nil
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		if closed && attempt < writeRetries {
+			runtime.Gosched()
+			continue
+		}
+		return errNoReplica
+	}
+}
+
+// getReplicated reads primary-first across the key's replica set.
+// Up replicas are tried in set order; a miss on one falls through to
+// the next (safe against resurrecting deletes: an acknowledged delete
+// reached every replica that was up, and a replica that missed it must
+// pass through repair — where the tombstone propagates — before it is
+// readable again). Repairing replicas are consulted only if no up
+// replica exists, as a last resort against total unavailability.
+func (t *Thread) getReplicated(key []byte) ([]byte, error) {
+	s := t.s
+	for attempt := 0; ; attempt++ {
+		t.rset = s.replicaSet(key, t.rset)
+		if v, err, ok := t.getFromReplicas(key, t.rset, replicaUp); ok {
+			return v, err
+		}
+		if v, err, ok := t.getFromReplicas(key, t.rset, replicaRepairing); ok {
+			return v, err
+		}
+		// No replica answered: raced a crash/recover transition; retry
+		// with fresh states before declaring the set unavailable.
+		if attempt >= writeRetries {
+			return nil, errNoReplica
+		}
+		runtime.Gosched()
+	}
+}
+
+// getFromReplicas tries every replica currently in state want, in set
+// order. ok=false means no replica in that state answered at all
+// (missing counts as an answer only after every candidate missed).
+func (t *Thread) getFromReplicas(key []byte, set []int, want int32) (val []byte, err error, ok bool) {
+	s := t.s
+	missed := false
+	for pos, j := range set {
+		if s.state[j].Load() != want {
+			continue
+		}
+		v, gerr := t.ths[j].Get(key)
+		t.sync(j)
+		switch {
+		case gerr == nil:
+			if pos > 0 || want != replicaUp {
+				s.m.replicaFallbacks.Inc()
+			}
+			s.m.replicaReads[pos].Inc()
+			return v, nil, true
+		case errors.Is(gerr, core.ErrNotFound):
+			missed = true
+		case errors.Is(gerr, core.ErrClosed):
+			// Crashed underneath us; the next state read sees it down.
+		default:
+			return nil, gerr, true
+		}
+	}
+	if missed {
+		return nil, core.ErrNotFound, true
+	}
+	return nil, nil, false
+}
+
+// deleteReplicated records one timestamped tombstone on every live
+// replica. The delete acknowledges when at least one replica accepted
+// the tombstone; ErrNotFound is reported only when no replica held a
+// live value.
+func (t *Thread) deleteReplicated(key []byte) error {
+	s := t.s
+	ts := s.nextStamp()
+	for attempt := 0; ; attempt++ {
+		t.rset = s.replicaSet(key, t.rset)
+		acked, found, closed := 0, false, false
+		var firstErr error
+		for _, j := range t.rset {
+			if s.state[j].Load() == replicaDown {
+				s.m.replicaSkips.Inc()
+				continue
+			}
+			f, err := t.ths[j].DeleteTS(key, ts)
+			t.sync(j)
+			switch {
+			case err == nil:
+				acked++
+				found = found || f
+				s.m.replicaDelete.Inc()
+			case errors.Is(err, core.ErrClosed):
+				closed = true
+				s.m.replicaErrors.Inc()
+			default:
+				s.m.replicaErrors.Inc()
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if acked == 0 {
+			if firstErr != nil {
+				return firstErr
+			}
+			if closed && attempt < writeRetries {
+				runtime.Gosched()
+				continue
+			}
+			return errNoReplica
+		}
+		if !found {
+			return core.ErrNotFound
+		}
+		return nil
+	}
+}
+
+// putBatchReplicated partitions a batch over the replica sets of its
+// keys — each entry goes to every live replica of its key, stamped
+// individually — and runs the per-shard sub-batches in parallel,
+// preserving core's one-epoch/one-publish-window amortization per
+// replica. An entry is acknowledged if at least one of its replicas'
+// sub-batches succeeded; the batch fails if any entry went wholly
+// unacknowledged.
+func (t *Thread) putBatchReplicated(kvs []core.KV) error {
+	s := t.s
+	base := s.stamp.Add(uint64(len(kvs))) - uint64(len(kvs))
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = t.putBatchReplicatedOnce(kvs, base)
+		// A sub-batch that hit a closed shard raced a crash: the stamps
+		// are fixed, so re-running the whole fan-out is idempotent and
+		// picks up the current replica states.
+		if err == nil || !errors.Is(err, core.ErrClosed) || attempt >= writeRetries {
+			return err
+		}
+		runtime.Gosched()
+	}
+}
+
+func (t *Thread) putBatchReplicatedOnce(kvs []core.KV, base uint64) error {
+	s := t.s
+	t.touched = t.touched[:0]
+	for i := range kvs {
+		ts := base + 1 + uint64(i)
+		t.rset = s.replicaSet(kvs[i].Key, t.rset)
+		for _, j := range t.rset {
+			if s.state[j].Load() == replicaDown {
+				s.m.replicaSkips.Inc()
+				continue
+			}
+			if len(t.subPut[j]) == 0 {
+				t.touched = append(t.touched, j)
+			}
+			t.subPut[j] = append(t.subPut[j], kvs[i])
+			t.subTS[j] = append(t.subTS[j], ts)
+			t.subIdx[j] = append(t.subIdx[j], i)
+		}
+	}
+	s.m.fanout.Record(int64(len(t.touched)))
+	if len(t.touched) > 1 {
+		s.m.crossPut.Inc()
+	}
+	var wg sync.WaitGroup
+	for _, j := range t.touched {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			t.errs[j] = t.ths[j].PutBatchTS(t.subPut[j], t.subTS[j])
+		}(j)
+	}
+	wg.Wait()
+	err := t.finishBatchReplicated(len(kvs))
+	for _, j := range t.touched {
+		t.sync(j)
+		t.subPut[j] = t.subPut[j][:0]
+		t.subTS[j] = t.subTS[j][:0]
+		t.subIdx[j] = t.subIdx[j][:0]
+		t.errs[j] = nil
+	}
+	return err
+}
+
+// finishBatchReplicated folds the per-shard fan-out errors into the
+// batch result: nil only if every entry was acknowledged somewhere.
+func (t *Thread) finishBatchReplicated(nkvs int) error {
+	s := t.s
+	anyErr := false
+	for _, j := range t.touched {
+		if t.errs[j] == nil {
+			continue
+		}
+		anyErr = true
+		s.m.replicaErrors.Inc()
+	}
+	if !anyErr {
+		for _, j := range t.touched {
+			s.m.replicaPut.Add(int64(len(t.subPut[j])))
+		}
+		return nil
+	}
+	// Some sub-batch failed: an entry is covered if any replica's
+	// sub-batch fully succeeded (a failed sub-batch may have applied a
+	// prefix, but only full success is counted — conservative).
+	covered := make([]bool, nkvs)
+	for _, j := range t.touched {
+		if t.errs[j] != nil {
+			continue
+		}
+		for _, i := range t.subIdx[j] {
+			covered[i] = true
+		}
+	}
+	for i := range covered {
+		if !covered[i] {
+			var errs []error
+			for _, j := range t.touched {
+				if t.errs[j] != nil {
+					errs = append(errs, t.errs[j])
+				}
+			}
+			return errors.Join(errs...)
+		}
+	}
+	return nil
+}
+
+// multiGetReplicated fans a batch read out with one preferred replica
+// per key (first up replica in set order; repairing as a last resort),
+// rerouting keys whose shard turns out to be closed. Unlike the
+// single-key path there is no per-key miss fallback: a key missing on
+// its preferred up replica is reported missing (vals entry stays nil),
+// matching MultiGet's semantics of one consistent pass.
+func (t *Thread) multiGetReplicated(keys [][]byte, vals [][]byte) ([][]byte, error) {
+	s := t.s
+	base := len(vals)
+	for range keys {
+		vals = append(vals, nil)
+	}
+	if len(keys) == 0 {
+		return vals, nil
+	}
+	s.m.batchGet.Inc()
+	remaining := make([]int, 0, len(keys))
+	for i := range keys {
+		remaining = append(remaining, i)
+	}
+	var firstErr error
+	for round := 0; round <= s.replicas && len(remaining) > 0; round++ {
+		perShard := make(map[int][]int)
+		var dead []int
+		for _, i := range remaining {
+			j, ok := s.readReplicaFor(keys[i])
+			if !ok {
+				dead = append(dead, i)
+				continue
+			}
+			perShard[j] = append(perShard[j], i)
+		}
+		if len(dead) > 0 && firstErr == nil {
+			firstErr = errNoReplica
+		}
+		if len(perShard) == 0 {
+			break
+		}
+		type result struct {
+			j    int
+			idxs []int
+			vs   [][]byte
+			err  error
+		}
+		results := make([]result, 0, len(perShard))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for j, idxs := range perShard {
+			wg.Add(1)
+			go func(j int, idxs []int) {
+				defer wg.Done()
+				sub := make([][]byte, 0, len(idxs))
+				for _, i := range idxs {
+					sub = append(sub, keys[i])
+				}
+				vs, err := t.ths[j].MultiGet(sub)
+				mu.Lock()
+				results = append(results, result{j: j, idxs: idxs, vs: vs, err: err})
+				mu.Unlock()
+			}(j, idxs)
+		}
+		wg.Wait()
+		remaining = remaining[:0]
+		for _, res := range results {
+			t.sync(res.j)
+			switch {
+			case res.err == nil:
+				for k, i := range res.idxs {
+					vals[base+i] = res.vs[k]
+				}
+			case errors.Is(res.err, core.ErrClosed):
+				// Shard crashed underneath us: the next round re-reads
+				// the states and routes these keys to a live replica.
+				remaining = append(remaining, res.idxs...)
+			default:
+				if firstErr == nil {
+					firstErr = res.err
+				}
+			}
+		}
+	}
+	if len(remaining) > 0 && firstErr == nil {
+		firstErr = errNoReplica
+	}
+	return vals, firstErr
+}
+
+// readReplicaFor picks the replica shard a batched read of key should
+// use: the first up replica in set order, else the first repairing one.
+func (s *Store) readReplicaFor(key []byte) (shard int, ok bool) {
+	p := s.ShardOf(key)
+	n := len(s.shards)
+	repairing := -1
+	for k := 0; k < s.replicas; k++ {
+		j := (p + k) % n
+		switch s.state[j].Load() {
+		case replicaUp:
+			return j, true
+		case replicaRepairing:
+			if repairing < 0 {
+				repairing = j
+			}
+		}
+	}
+	if repairing >= 0 {
+		return repairing, true
+	}
+	return 0, false
+}
+
+// putAsyncReplicated fans an async write out to every live replica and
+// joins the per-replica handles into one caller-visible Handle: it
+// completes when every replica completed, successfully if at least one
+// accepted the write. Safe from any goroutine (allocates its own
+// replica-set scratch).
+func (t *Thread) putAsyncReplicated(key, value []byte) *core.Handle {
+	s := t.s
+	ts := s.nextStamp()
+	set := s.replicaSet(key, make([]int, 0, s.replicas))
+	hs := make([]*core.Handle, 0, len(set))
+	for _, j := range set {
+		if s.state[j].Load() == replicaDown {
+			s.m.replicaSkips.Inc()
+			continue
+		}
+		hs = append(hs, t.ths[j].PutTSAsync(key, value, ts))
+	}
+	return s.joinWrite(hs, s.m.replicaPut)
+}
+
+// deleteAsyncReplicated is putAsyncReplicated for tombstones.
+func (t *Thread) deleteAsyncReplicated(key []byte) *core.Handle {
+	s := t.s
+	ts := s.nextStamp()
+	set := s.replicaSet(key, make([]int, 0, s.replicas))
+	hs := make([]*core.Handle, 0, len(set))
+	for _, j := range set {
+		if s.state[j].Load() == replicaDown {
+			s.m.replicaSkips.Inc()
+			continue
+		}
+		hs = append(hs, t.ths[j].DeleteTSAsync(key, ts))
+	}
+	return s.joinWrite(hs, s.m.replicaDelete)
+}
+
+// joinWrite composes per-replica write handles into one: nil if any
+// replica succeeded, ErrNotFound if every replica reported it (deletes
+// of a missing key), otherwise the first error. Completion time is the
+// slowest replica's — the fan-out is a barrier in virtual time.
+func (s *Store) joinWrite(hs []*core.Handle, opCounter interface{ Inc() }) *core.Handle {
+	if len(hs) == 0 {
+		ph, resolve := core.NewProxyHandle()
+		resolve(nil, errNoReplica, 0)
+		return ph
+	}
+	ph, resolve := core.NewProxyHandle()
+	var mu sync.Mutex
+	remaining := len(hs)
+	anyOK, allNotFound := false, true
+	var firstErr error
+	var endMax int64
+	for _, h := range hs {
+		h.OnDone(func(h *core.Handle) {
+			err := h.Wait()
+			mu.Lock()
+			switch {
+			case err == nil:
+				anyOK = true
+				allNotFound = false
+				opCounter.Inc()
+			case errors.Is(err, core.ErrNotFound):
+				// counts toward allNotFound
+			default:
+				allNotFound = false
+				if firstErr == nil {
+					firstErr = err
+				}
+				s.m.replicaErrors.Inc()
+			}
+			if at := h.CompletedAt(); at > endMax {
+				endMax = at
+			}
+			remaining--
+			last := remaining == 0
+			ok, nf, ferr, end := anyOK, allNotFound, firstErr, endMax
+			mu.Unlock()
+			if !last {
+				return
+			}
+			switch {
+			case ok:
+				resolve(nil, nil, end)
+			case nf:
+				resolve(nil, core.ErrNotFound, end)
+			case ferr != nil:
+				resolve(nil, ferr, end)
+			default:
+				resolve(nil, errNoReplica, end)
+			}
+		})
+	}
+	return ph
+}
+
+// getAsyncReplicated chains an async read across the key's replica set:
+// try the first candidate, and on miss or crash fall through to the
+// next from the completion callback — the same failover order as the
+// synchronous path, without blocking any goroutine. Note the follow-up
+// submission happens when the previous attempt completes, which may be
+// after a Flush started earlier; callers wanting completion wait the
+// returned handle, not just Flush.
+func (t *Thread) getAsyncReplicated(key []byte) *core.Handle {
+	s := t.s
+	set := s.replicaSet(key, make([]int, 0, s.replicas))
+	order := make([]int, 0, len(set)*2)
+	for _, j := range set {
+		if s.state[j].Load() == replicaUp {
+			order = append(order, j)
+		}
+	}
+	for _, j := range set {
+		if s.state[j].Load() == replicaRepairing {
+			order = append(order, j)
+		}
+	}
+	ph, resolve := core.NewProxyHandle()
+	if len(order) == 0 {
+		resolve(nil, errNoReplica, 0)
+		return ph
+	}
+	var try func(k int, sawMiss bool, lastAt int64)
+	try = func(k int, sawMiss bool, lastAt int64) {
+		if k >= len(order) {
+			if sawMiss {
+				resolve(nil, core.ErrNotFound, lastAt)
+			} else {
+				resolve(nil, errNoReplica, lastAt)
+			}
+			return
+		}
+		j := order[k]
+		t.ths[j].GetAsync(key).OnDone(func(h *core.Handle) {
+			v, err := h.Value()
+			at := h.CompletedAt()
+			if at < lastAt {
+				at = lastAt
+			}
+			switch {
+			case err == nil:
+				if k > 0 {
+					s.m.replicaFallbacks.Inc()
+				}
+				resolve(v, nil, at)
+			case errors.Is(err, core.ErrNotFound):
+				try(k+1, true, at)
+			case errors.Is(err, core.ErrClosed):
+				try(k+1, sawMiss, at)
+			default:
+				resolve(nil, err, at)
+			}
+		})
+	}
+	try(0, false, 0)
+	return ph
+}

@@ -1,0 +1,465 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// repl opens a replicated store with auto-repair off so tests drive
+// (and count) repair passes deterministically.
+func repl(t *testing.T, shards, replicas int, mutate func(*core.Options)) *Store {
+	t.Helper()
+	return small(t, shards, func(o *core.Options) {
+		o.Replicas = replicas
+		o.DisableAutoRepair = true
+		if mutate != nil {
+			mutate(o)
+		}
+	})
+}
+
+func TestReplicatedRoundTrip(t *testing.T) {
+	s := repl(t, 3, 2, nil)
+	th := s.Thread(0)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := th.Get(key(i))
+		if err != nil || !bytes.Equal(v, value(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, err)
+		}
+	}
+	// Every key lives on exactly Replicas shards.
+	if got := s.Len(); got != n*2 {
+		t.Fatalf("Len = %d, want %d (each key on 2 replicas)", got, n*2)
+	}
+	// Deletes propagate to all replicas.
+	if err := th.Delete(key(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Get(key(0)); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("Get after Delete = %v", err)
+	}
+	if err := th.Delete(key(0)); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("double Delete = %v, want ErrNotFound", err)
+	}
+	if err := s.ConvergenceCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaSetPlacement(t *testing.T) {
+	s := repl(t, 4, 3, nil)
+	for i := 0; i < 500; i++ {
+		set := s.replicaSet(key(i), nil)
+		if len(set) != 3 {
+			t.Fatalf("replica set size = %d", len(set))
+		}
+		if set[0] != s.ShardOf(key(i)) {
+			t.Fatalf("primary %d != ShardOf %d", set[0], s.ShardOf(key(i)))
+		}
+		seen := map[int]bool{}
+		for _, j := range set {
+			if seen[j] {
+				t.Fatalf("duplicate shard %d in replica set %v", j, set)
+			}
+			seen[j] = true
+		}
+	}
+	if _, err := Open(core.Options{Shards: 2, Replicas: 3}); err == nil {
+		t.Fatal("Replicas > Shards must be rejected")
+	}
+	if _, err := core.Open(core.Options{Replicas: 2}); err == nil {
+		t.Fatal("core.Open must reject Replicas > 1")
+	}
+}
+
+// Crash one replica: reads and writes keep working off the survivors;
+// recover + bounded repair passes converge the restarted replica; the
+// full keyspace digest agrees afterwards.
+func TestFailoverAndRepairConverges(t *testing.T) {
+	s := repl(t, 3, 2, nil)
+	th := s.Thread(0)
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := 1
+	s.CrashShard(victim)
+	if st := s.ReplicaState(victim); st != int(replicaDown) {
+		t.Fatalf("state after crash = %d", st)
+	}
+	// Every key stays readable (fallback for keys whose primary died).
+	for i := 0; i < n; i++ {
+		v, err := th.Get(key(i))
+		if err != nil || !bytes.Equal(v, value(i)) {
+			t.Fatalf("Get(%d) with shard %d down = %q, %v", i, victim, v, err)
+		}
+	}
+	// Writes land on the survivors; some delete traffic too.
+	for i := n; i < n+200; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := th.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.RecoverShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.ReplicaState(victim); st != int(replicaRepairing) {
+		t.Fatalf("state after recover = %d, want repairing", st)
+	}
+	// Anti-entropy must converge within a small bounded number of
+	// passes when writes are quiesced: one pass pulls everything, the
+	// next verifies emptiness.
+	passes := 0
+	for ; passes < 5; passes++ {
+		if s.RepairShard(victim).Applied() == 0 {
+			break
+		}
+	}
+	if passes >= 5 {
+		t.Fatalf("repair did not converge within %d passes", passes)
+	}
+	if st := s.Repair(); st.Applied() != 0 {
+		t.Fatalf("full repair still applied %+v after convergence", st)
+	}
+	if st := s.ReplicaState(victim); st != int(replicaUp) {
+		t.Fatalf("state after converged repair = %d, want up", st)
+	}
+	if err := s.ConvergenceCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted keys stay deleted on the repaired replica (tombstones
+	// propagated), live keys all readable.
+	for i := 0; i < 50; i++ {
+		if _, err := th.Get(key(i)); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("deleted key %d resurrected after repair: %v", i, err)
+		}
+	}
+	for i := 50; i < n+200; i++ {
+		v, err := th.Get(key(i))
+		if err != nil || !bytes.Equal(v, value(i)) {
+			t.Fatalf("Get(%d) after repair = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestTombstoneDiscardAfterGrace(t *testing.T) {
+	s := repl(t, 2, 2, func(o *core.Options) { o.TombstoneGraceWrites = 100 })
+	th := s.Thread(0)
+	for i := 0; i < 20; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := th.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tombs := 0
+	for j := 0; j < s.NumShards(); j++ {
+		tombs += s.Shard(j).TombstoneCount()
+	}
+	if tombs == 0 {
+		t.Fatal("no tombstones recorded")
+	}
+	// Advance the stamp past the grace window, then a full repair with
+	// all replicas up discards them.
+	for i := 100; i < 250; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Repair()
+	if st.TombstonesDiscarded == 0 {
+		t.Fatalf("no tombstones discarded: %+v", st)
+	}
+	tombs = 0
+	for j := 0; j < s.NumShards(); j++ {
+		tombs += s.Shard(j).TombstoneCount()
+	}
+	if tombs != 0 {
+		t.Fatalf("%d tombstones survive past grace", tombs)
+	}
+	if err := s.ConvergenceCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicatedBatchAndMultiGet(t *testing.T) {
+	s := repl(t, 3, 2, nil)
+	th := s.Thread(0)
+	const n = 256
+	kvs := make([]core.KV, n)
+	keys := make([][]byte, n)
+	for i := range kvs {
+		kvs[i] = core.KV{Key: key(i), Value: value(i)}
+		keys[i] = key(i)
+	}
+	if err := th.PutBatch(kvs); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := th.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if !bytes.Equal(v, value(i)) {
+			t.Fatalf("MultiGet[%d] = %q", i, v)
+		}
+	}
+	// Batch with one replica down still acknowledges everything, and
+	// MultiGet reroutes to survivors.
+	s.CrashShard(2)
+	if err := th.PutBatch(kvs); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = th.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := 0
+	for i, v := range vals {
+		if !bytes.Equal(v, value(i)) {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Fatalf("%d keys unreadable with one replica down", miss)
+	}
+	if _, err := s.RecoverShard(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if s.Repair().Applied() == 0 {
+			break
+		}
+	}
+	if err := s.ConvergenceCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate keys in a batch: the later entry wins (stamps are drawn
+	// in input order).
+	dup := []core.KV{
+		{Key: key(0), Value: []byte("first")},
+		{Key: key(0), Value: []byte("second")},
+	}
+	if err := th.PutBatch(dup); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := th.Get(key(0)); !bytes.Equal(v, []byte("second")) {
+		t.Fatalf("duplicate-key batch: got %q, want \"second\"", v)
+	}
+}
+
+// Replicated scans dedupe replica copies and survive a downed shard.
+func TestReplicatedScanDedupes(t *testing.T) {
+	s := repl(t, 3, 2, nil)
+	th := s.Thread(0)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func() []string {
+		var got []string
+		if err := th.Scan([]byte("user"), 0, func(kv core.KV) bool {
+			got = append(got, string(kv.Key))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	got := collect()
+	if len(got) != n {
+		t.Fatalf("scan returned %d keys, want %d (dedupe across replicas)", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, got[i-1], got[i])
+		}
+	}
+	s.CrashShard(0)
+	got = collect()
+	if len(got) != n {
+		t.Fatalf("scan with shard 0 down returned %d keys, want %d", len(got), n)
+	}
+}
+
+// Async replicated paths: joined put/delete handles and chained get
+// failover.
+func TestReplicatedAsync(t *testing.T) {
+	s := repl(t, 3, 2, nil)
+	th := s.Thread(0)
+	const n = 200
+	hs := make([]*core.Handle, 0, n)
+	for i := 0; i < n; i++ {
+		hs = append(hs, th.PutAsync(key(i), value(i)))
+	}
+	for i, h := range hs {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("async put %d: %v", i, err)
+		}
+	}
+	s.CrashShard(1)
+	for i := 0; i < n; i++ {
+		v, err := th.GetAsync(key(i)).Value()
+		if err != nil || !bytes.Equal(v, value(i)) {
+			t.Fatalf("GetAsync(%d) with shard down = %q, %v", i, v, err)
+		}
+	}
+	// Async writes with a replica down still ack on the survivor.
+	for i := n; i < n+50; i++ {
+		if err := th.PutAsync(key(i), value(i)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := th.DeleteAsync(key(0)).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.DeleteAsync(key(0)).Wait(); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("double async delete = %v", err)
+	}
+	if _, err := s.RecoverShard(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if s.Repair().Applied() == 0 {
+			break
+		}
+	}
+	if err := s.ConvergenceCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Model property test with replica-crash interleavings: a single-writer
+// sequence of puts/deletes/reads against a model map, with one replica
+// crashed, written around, recovered, and repaired mid-sequence. Reads
+// must always match the model exactly — an acknowledged write is never
+// lost and a read after failover never returns a value older than the
+// model's (stale-beyond-timestamp).
+func TestReplicatedStoreMatchesModel(t *testing.T) {
+	const shards, replicas = 3, 2
+	s := repl(t, shards, replicas, nil)
+	th := s.Thread(0)
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(7))
+	down := -1 // currently crashed shard, -1 when all up
+	const keyspace = 150
+	for step := 0; step < 2500; step++ {
+		k := key(rng.Intn(keyspace))
+		switch op := rng.Intn(10); {
+		case op < 5: // put
+			v := []byte(fmt.Sprintf("v-%d-%d", step, rng.Intn(1000)))
+			if err := th.Put(k, v); err != nil {
+				t.Fatalf("step %d: Put: %v", step, err)
+			}
+			model[string(k)] = string(v)
+		case op < 7: // delete
+			err := th.Delete(k)
+			_, want := model[string(k)]
+			if want && err != nil {
+				t.Fatalf("step %d: Delete(%q) = %v, model has it", step, k, err)
+			}
+			if !want && !errors.Is(err, core.ErrNotFound) {
+				t.Fatalf("step %d: Delete(%q) = %v, want ErrNotFound", step, k, err)
+			}
+			delete(model, string(k))
+		default: // get
+			v, err := th.Get(k)
+			want, ok := model[string(k)]
+			if ok && (err != nil || string(v) != want) {
+				t.Fatalf("step %d: Get(%q) = %q,%v; model %q (down=%d)", step, k, v, err, want, down)
+			}
+			if !ok && !errors.Is(err, core.ErrNotFound) {
+				t.Fatalf("step %d: Get(%q) = %v, model missing (down=%d)", step, k, err, down)
+			}
+		}
+		// Periodic crash/recover churn: crash only when everything is
+		// up (with R=2 two concurrent downs could lose a whole set).
+		if step%400 == 250 && down < 0 {
+			down = rng.Intn(shards)
+			s.CrashShard(down)
+		}
+		if step%400 == 399 && down >= 0 {
+			if _, err := s.RecoverShard(down); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < maxRepairPasses; i++ {
+				if s.Repair().Applied() == 0 {
+					break
+				}
+			}
+			if st := s.ReplicaState(down); st != int(replicaUp) {
+				t.Fatalf("step %d: shard %d state %d after repair", step, down, st)
+			}
+			down = -1
+		}
+	}
+	if down >= 0 {
+		if _, err := s.RecoverShard(down); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < maxRepairPasses; i++ {
+			if s.Repair().Applied() == 0 {
+				break
+			}
+		}
+	}
+	if err := s.ConvergenceCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// Final audit: store contents == model exactly.
+	for k, want := range model {
+		v, err := th.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("final: Get(%q) = %q,%v; want %q", k, v, err, want)
+		}
+	}
+}
+
+// The auto-repair worker (DisableAutoRepair unset) converges a
+// recovered replica without manual passes.
+func TestAutoRepairWorker(t *testing.T) {
+	s := small(t, 3, func(o *core.Options) { o.Replicas = 2 })
+	th := s.Thread(0)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.CrashShard(1)
+	for i := n; i < n+100; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.RecoverShard(1); err != nil {
+		t.Fatal(err)
+	}
+	waitUp(t, s, 1)
+	if err := s.ConvergenceCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

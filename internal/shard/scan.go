@@ -28,9 +28,29 @@ func (t *Thread) Scan(start []byte, count int, fn func(kv core.KV) bool) error {
 		return err
 	}
 	s.m.scanMerges.Inc()
+	// With replication, scan only available shards (down shards' keys
+	// are covered by their replicas) and dedupe: a key materializes on
+	// up to Replicas shards, so equal heads across streams collapse to
+	// one emission. During a divergence window (a replica mid-repair)
+	// the surviving copy is whichever stream sorts first — scans are
+	// eventually consistent, like replicated reads.
+	include := make([]bool, len(s.shards))
+	anyUp := false
+	for j := range s.shards {
+		include[j] = s.state[j].Load() == replicaUp
+		anyUp = anyUp || include[j]
+	}
+	if !anyUp {
+		for j := range s.shards {
+			include[j] = s.state[j].Load() == replicaRepairing
+		}
+	}
 	lists := make([][]core.KV, len(s.shards))
 	var wg sync.WaitGroup
 	for j := range s.shards {
+		if !include[j] {
+			continue
+		}
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
@@ -43,6 +63,9 @@ func (t *Thread) Scan(start []byte, count int, fn func(kv core.KV) bool) error {
 	wg.Wait()
 	var err error
 	for j := range s.shards {
+		if !include[j] {
+			continue
+		}
 		err = errors.Join(err, t.errs[j])
 		t.errs[j] = nil
 		t.sync(j)
@@ -70,6 +93,14 @@ func (t *Thread) Scan(start []byte, count int, fn func(kv core.KV) bool) error {
 		}
 		kv := lists[best][pos[best]]
 		pos[best]++
+		if s.replicas > 1 {
+			// Skip the other replicas' copies of the emitted key.
+			for j := range lists {
+				for pos[j] < len(lists[j]) && bytes.Equal(lists[j][pos[j]].Key, kv.Key) {
+					pos[j]++
+				}
+			}
+		}
 		emitted++
 		if !fn(kv) {
 			break

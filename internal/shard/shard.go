@@ -36,11 +36,27 @@
 // merges them. Cross-shard PutBatch keeps core's prefix-durability only
 // per shard: a crash can leave different shards at different prefixes
 // of their sub-batches.
+//
+// # Replication
+//
+// Options.Replicas > 1 places each key on R shards — the jump-hash
+// primary plus its R-1 ring successors — with every write carrying a
+// store-wide logical timestamp and applied per replica under
+// last-writer-wins (see core's TrackTimestamps layer). Writes fan out
+// to every live replica and acknowledge when at least one accepted;
+// reads go primary-first and fall back across the set on a miss or a
+// crashed shard. A crashed shard is marked down (writes skip it, reads
+// route around it) until RecoverShard brings it back through the
+// repairing state, where background anti-entropy pull passes re-fetch
+// everything it missed — including tombstones, so deletes cannot
+// resurrect — before it serves reads again. See replica.go and
+// repair.go.
 package shard
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -63,6 +79,16 @@ type Store struct {
 	shards  []*core.Store
 	threads []*Thread
 
+	// Replication state (replicas == 1 leaves all of it idle; see
+	// replica.go / repair.go).
+	replicas   int
+	stamp      atomic.Uint64  // store-wide logical timestamp source
+	state      []atomic.Int32 // per-shard replicaUp/Down/Repairing
+	repairCh   chan int       // kicks the anti-entropy worker
+	repairStop chan struct{}
+	repairWG   sync.WaitGroup
+	repairMu   sync.Mutex // serializes repair passes
+
 	reg *obs.Registry
 	m   routerMetrics
 }
@@ -84,8 +110,10 @@ type Thread struct {
 	subKeys [][][]byte  // per-shard key sub-slices for MultiGet
 	subVals [][][]byte  // per-shard value results for MultiGet
 	subIdx  [][]int     // original input positions per shard
+	subTS   [][]uint64  // per-shard stamps for replicated PutBatch
 	touched []int       // shards hit by the current batch
 	errs    []error     // per-shard fan-out errors
+	rset    []int       // replica-set scratch for sync replicated ops
 }
 
 // Open creates a Store of opt.Shards independent core stores (default
@@ -103,10 +131,22 @@ func Open(opt core.Options) (*Store, error) {
 	if n > MaxShards {
 		return nil, errors.New("prism: too many shards")
 	}
-	s := &Store{opt: opt}
+	r := opt.Replicas
+	if r == 0 {
+		r = 1
+	}
+	if r < 0 {
+		return nil, errors.New("prism: Replicas must be >= 1")
+	}
+	if r > n {
+		return nil, errors.New("prism: Replicas cannot exceed Shards (each replica lives on a distinct shard)")
+	}
+	s := &Store{opt: opt, replicas: r}
 	for i := 0; i < n; i++ {
 		sopt := opt
 		sopt.Shards = 0
+		sopt.Replicas = 0
+		sopt.TrackTimestamps = opt.TrackTimestamps || r > 1
 		if sopt.Seed == 0 {
 			sopt.Seed = 1 // mirror core's default before deriving
 		}
@@ -129,12 +169,22 @@ func Open(opt core.Options) (*Store, error) {
 			subKeys: make([][][]byte, n),
 			subVals: make([][][]byte, n),
 			subIdx:  make([][]int, n),
+			subTS:   make([][]uint64, n),
 			errs:    make([]error, n),
 		}
 		for j := 0; j < n; j++ {
 			th.ths = append(th.ths, s.shards[j].Thread(i))
 		}
 		s.threads = append(s.threads, th)
+	}
+	s.state = make([]atomic.Int32, n)
+	if r > 1 {
+		s.repairCh = make(chan int, 4*MaxShards)
+		s.repairStop = make(chan struct{})
+		if !opt.DisableAutoRepair {
+			s.repairWG.Add(1)
+			go s.repairWorker()
+		}
 	}
 	if !opt.DisableMetrics {
 		s.reg = obs.NewRegistry()
@@ -197,8 +247,10 @@ func (s *Store) Len() int {
 	return n
 }
 
-// Close stops every shard; the first error wins.
+// Close stops every shard; the first error wins. The anti-entropy
+// worker (if any) is joined first so no repair pass straddles shutdown.
 func (s *Store) Close() error {
+	s.stopRepairWorker()
 	var first error
 	for _, cs := range s.shards {
 		if err := cs.Close(); err != nil && first == nil {
@@ -209,10 +261,14 @@ func (s *Store) Close() error {
 }
 
 // Crash simulates a power failure across every shard (see core.Crash).
-// Crash a single shard's devices with Shard(i).Crash().
+// Crash a single shard's devices — marking it down so the replicated
+// paths route around it — with CrashShard.
 func (s *Store) Crash() {
 	for _, cs := range s.shards {
 		cs.Crash()
+	}
+	for i := range s.state {
+		s.setState(i, replicaDown)
 	}
 }
 
@@ -241,7 +297,20 @@ func (s *Store) Recover() (core.RecoveryReport, error) {
 			rep.VirtualNS = r.VirtualNS
 		}
 	}
-	return rep, errors.Join(errs...)
+	if err := errors.Join(errs...); err != nil {
+		return rep, err
+	}
+	for i := range s.state {
+		s.setState(i, replicaUp)
+	}
+	if s.replicas > 1 {
+		// A whole-store crash can leave replicas divergent only on
+		// writes that were in flight (never acknowledged) at the crash;
+		// one synchronous anti-entropy sweep reconciles them before the
+		// store reports recovered.
+		s.Repair()
+	}
+	return rep, nil
 }
 
 // Stats sums the per-shard counters into one store-level snapshot.
@@ -305,28 +374,43 @@ func (t *Thread) sync(j int) {
 	t.Clk.AdvanceTo(t.ths[j].Clk.Now())
 }
 
-// Put routes a single-key write to the owning shard's pinned thread.
+// Put routes a single-key write to the owning shard's pinned thread —
+// or, with Replicas > 1, fans it out to every live replica under one
+// logical timestamp (see replica.go).
 func (t *Thread) Put(key, value []byte) error {
-	j := t.s.ShardOf(key)
 	t.s.m.routedPut.Inc()
+	if t.s.replicas > 1 {
+		return t.putReplicated(key, value)
+	}
+	j := t.s.ShardOf(key)
 	err := t.ths[j].Put(key, value)
 	t.sync(j)
 	return err
 }
 
-// Get routes a single-key read to the owning shard's pinned thread.
+// Get routes a single-key read to the owning shard's pinned thread —
+// or, with Replicas > 1, primary-first across the replica set with
+// fallback on miss or crash.
 func (t *Thread) Get(key []byte) ([]byte, error) {
-	j := t.s.ShardOf(key)
 	t.s.m.routedGet.Inc()
+	if t.s.replicas > 1 {
+		return t.getReplicated(key)
+	}
+	j := t.s.ShardOf(key)
 	v, err := t.ths[j].Get(key)
 	t.sync(j)
 	return v, err
 }
 
-// Delete routes a single-key delete to the owning shard's pinned thread.
+// Delete routes a single-key delete to the owning shard's pinned thread
+// — or, with Replicas > 1, records a timestamped tombstone on every
+// live replica.
 func (t *Thread) Delete(key []byte) error {
-	j := t.s.ShardOf(key)
 	t.s.m.routedDelete.Inc()
+	if t.s.replicas > 1 {
+		return t.deleteReplicated(key)
+	}
+	j := t.s.ShardOf(key)
 	err := t.ths[j].Delete(key)
 	t.sync(j)
 	return err
@@ -343,6 +427,9 @@ func (t *Thread) Delete(key []byte) error {
 // makespan in.
 func (t *Thread) PutAsync(key, value []byte) *core.Handle {
 	t.s.m.routedPut.Inc()
+	if t.s.replicas > 1 {
+		return t.putAsyncReplicated(key, value)
+	}
 	return t.ths[t.s.ShardOf(key)].PutAsync(key, value)
 }
 
@@ -350,6 +437,9 @@ func (t *Thread) PutAsync(key, value []byte) *core.Handle {
 // loop. See PutAsync for the concurrency and ordering contract.
 func (t *Thread) GetAsync(key []byte) *core.Handle {
 	t.s.m.routedGet.Inc()
+	if t.s.replicas > 1 {
+		return t.getAsyncReplicated(key)
+	}
 	return t.ths[t.s.ShardOf(key)].GetAsync(key)
 }
 
@@ -357,6 +447,9 @@ func (t *Thread) GetAsync(key []byte) *core.Handle {
 // admission loop. See PutAsync for the concurrency contract.
 func (t *Thread) DeleteAsync(key []byte) *core.Handle {
 	t.s.m.routedDelete.Inc()
+	if t.s.replicas > 1 {
+		return t.deleteAsyncReplicated(key)
+	}
 	return t.ths[t.s.ShardOf(key)].DeleteAsync(key)
 }
 

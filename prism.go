@@ -64,6 +64,19 @@
 // parallel, and Scan k-way merges the per-shard ordered scans. The
 // default (0 or 1) runs a single shard with no routing overhead beyond
 // one nil-check hash call.
+//
+// # Replication
+//
+// Options.Replicas > 1 (requires Shards >= Replicas) places every key
+// on its jump-hash primary plus the next Replicas-1 shards in ring
+// order. Writes fan out to all live replicas under one logical
+// timestamp with last-writer-wins reconciliation; reads serve from the
+// primary and fail over to successors on a miss or crash. A crashed
+// shard (Store.CrashShard) leaves its keyspace fully served by the
+// survivors; after Store.RecoverShard, background anti-entropy pull
+// passes re-converge it (Store.Repair runs a pass by hand), with delete
+// tombstones propagated and discarded after a grace window. Replicas
+// set to 0 or 1 is bit-for-bit the unreplicated router.
 package prism
 
 import (
