@@ -84,7 +84,8 @@ func (s *Store) registerReplicaMetrics() {
 	s.m.replicaSkips = r.Counter(obs.Desc{Name: "shard.replica_write_skips", Help: "write fan-out legs skipped because the replica was down", Unit: "ops"})
 	s.m.replicaErrors = r.Counter(obs.Desc{Name: "shard.replica_errors", Help: "write fan-out legs that failed (crashed mid-op or store error)", Unit: "ops"})
 	s.m.replicaFallbacks = r.Counter(obs.Desc{Name: "shard.replica_read_fallbacks", Help: "reads served by a non-primary or repairing replica", Unit: "ops"})
-	s.m.replicaReads = make([]*obs.Counter, s.replicas)
+	// s.m.replicaReads is allocated in Open (the read path indexes it
+	// even when metrics are disabled); here we only fill the elements.
 	for m := 0; m < s.replicas; m++ {
 		s.m.replicaReads[m] = r.Counter(obs.Desc{Name: "shard.replica_reads", Help: "reads served, by position in the key's replica set (0 = primary)", Unit: "ops",
 			Labels: map[string]string{"replica": strconv.Itoa(m)}})

@@ -132,9 +132,11 @@ func (s *Store) stopRepairWorker() {
 }
 
 // repairUntilConverged runs passes for shard j until one pulls nothing
-// (RepairShard promotes the shard to up on that pass). Returns false if
-// the pass bound was hit (or the shard crashed again mid-repair)
-// without converging.
+// (RepairShard promotes the shard to up on that pass, unless a keyspace
+// peer was down — then the shard stays repairing and the worker parks
+// until the peer's RecoverShard kicks it again). Returns false if the
+// pass bound was hit (or the shard crashed again mid-repair) without
+// the pass going quiet.
 func (s *Store) repairUntilConverged(j int) bool {
 	for pass := 0; pass < maxRepairPasses; pass++ {
 		st := s.RepairShard(j)
@@ -153,7 +155,14 @@ func (s *Store) repairUntilConverged(j int) bool {
 // newer than j's own record. Returns what the pass applied; call it
 // repeatedly until Applied() == 0 for convergence (the fault-injection
 // gate asserts the pass count stays bounded). A pass that pulls nothing
-// promotes a repairing shard back to up. Safe to call concurrently with
+// promotes a repairing shard back to up — unless a keyspace peer was
+// down during the pass: that peer may be the only holder of acked
+// writes for j's keyspace, so promoting on a pass that could not
+// consult it would declare convergence while acked data is still
+// missing (and, since anti-entropy only pulls into repairing shards,
+// the gap would never heal once j is up). The shard stays repairing
+// until a pass runs with every keyspace peer consultable; RecoverShard
+// on the peer re-kicks the worker. Safe to call concurrently with
 // foreground traffic; passes themselves serialize.
 func (s *Store) RepairShard(j int) RepairStats {
 	var st RepairStats
@@ -165,9 +174,16 @@ func (s *Store) RepairShard(j int) RepairStats {
 	st.Passes = 1
 	s.m.repairPasses.Inc()
 	dst := s.shards[j]
+	peerDown := false
 	var rset []int
 	for i := range s.shards {
-		if i == j || s.state[i].Load() == replicaDown {
+		if i == j {
+			continue
+		}
+		if s.state[i].Load() == replicaDown {
+			if s.ringPeers(i, j) {
+				peerDown = true
+			}
 			continue
 		}
 		src := s.shards[i]
@@ -219,10 +235,26 @@ func (s *Store) RepairShard(j int) RepairStats {
 			}
 		}
 	}
-	if st.Applied() == 0 && s.state[j].CompareAndSwap(replicaRepairing, replicaUp) {
+	if st.Applied() == 0 && !peerDown && s.state[j].CompareAndSwap(replicaRepairing, replicaUp) {
 		s.m.repairConverged.Inc()
 	}
 	return st
+}
+
+// ringPeers reports whether shards i and j share any replica set: with
+// ring-successor placement the set of primary p is {p .. p+R-1} mod n,
+// so two shards overlap some set exactly when their ring distance is
+// less than the replica factor.
+func (s *Store) ringPeers(i, j int) bool {
+	n := len(s.shards)
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d < s.replicas
 }
 
 // Repair runs one pull pass into every live shard, promotes repairing

@@ -44,13 +44,33 @@ func (s *Store) ReplicaState(j int) int { return int(s.state[j].Load()) }
 
 func (s *Store) setState(j int, st int32) { s.state[j].Store(st) }
 
-// Replica states change only through CrashShard, RecoverShard, and
-// repair-pass promotion — never from operation paths. An operation that
-// observes ErrClosed treats the replica as unavailable for that attempt
+// Replica states change only through CrashShard, RecoverShard,
+// repair-pass promotion, and markNeedsRepair's up→repairing demotion —
+// never otherwise from operation paths. An operation that observes
+// ErrClosed treats the replica as unavailable for that attempt
 // (CrashShard stores the down state before crashing the shard, so a
-// fresh state read is authoritative); writing the state from the
+// fresh state read is authoritative); writing the down state from the
 // observer would race a concurrent RecoverShard and wedge a healthy
 // replica down.
+
+// markNeedsRepair demotes an up replica that failed a write with a
+// non-closed error to repairing and kicks the anti-entropy worker: the
+// other replicas may have acknowledged that write, and an up-but-missed
+// replica would otherwise stay divergent forever (states never change
+// on their own). The CAS only moves up→repairing, so it cannot race
+// CrashShard (down wins: CrashShard stores down before crashing) or
+// resurrect a down replica.
+func (s *Store) markNeedsRepair(j int) {
+	if !s.state[j].CompareAndSwap(replicaUp, replicaRepairing) {
+		return
+	}
+	if s.repairCh != nil {
+		select {
+		case s.repairCh <- j:
+		default: // worker already has a kick pending; it re-scans states
+		}
+	}
+}
 
 // writeRetries bounds the re-attempts a synchronous replicated
 // operation makes when a replica crashes underneath it mid-operation:
@@ -105,6 +125,7 @@ func (t *Thread) putReplicated(key, value []byte) error {
 				s.m.replicaErrors.Inc()
 			default:
 				s.m.replicaErrors.Inc()
+				s.markNeedsRepair(j)
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -211,6 +232,7 @@ func (t *Thread) deleteReplicated(key []byte) error {
 				s.m.replicaErrors.Inc()
 			default:
 				s.m.replicaErrors.Inc()
+				s.markNeedsRepair(j)
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -303,41 +325,49 @@ func (t *Thread) putBatchReplicatedOnce(kvs []core.KV, base uint64) error {
 // batch result: nil only if every entry was acknowledged somewhere.
 func (t *Thread) finishBatchReplicated(nkvs int) error {
 	s := t.s
-	anyErr := false
+	var errs []error
 	for _, j := range t.touched {
 		if t.errs[j] == nil {
 			continue
 		}
-		anyErr = true
+		errs = append(errs, t.errs[j])
 		s.m.replicaErrors.Inc()
-	}
-	if !anyErr {
-		for _, j := range t.touched {
-			s.m.replicaPut.Add(int64(len(t.subPut[j])))
+		if !errors.Is(t.errs[j], core.ErrClosed) {
+			s.markNeedsRepair(j)
 		}
-		return nil
 	}
-	// Some sub-batch failed: an entry is covered if any replica's
-	// sub-batch fully succeeded (a failed sub-batch may have applied a
-	// prefix, but only full success is counted — conservative).
-	covered := make([]bool, nkvs)
+	// An entry is covered if at least one replica's sub-batch fully
+	// succeeded (a failed sub-batch may have applied a prefix, but only
+	// full success is counted — conservative). Coverage runs even with
+	// zero sub-batch errors: an entry whose entire replica set was down
+	// was never partitioned into any sub-batch at all and must surface
+	// errNoReplica, not a silent acknowledgment.
+	if cap(t.cov) < nkvs {
+		t.cov = make([]bool, nkvs)
+	}
+	cov := t.cov[:nkvs]
+	for i := range cov {
+		cov[i] = false
+	}
 	for _, j := range t.touched {
 		if t.errs[j] != nil {
 			continue
 		}
 		for _, i := range t.subIdx[j] {
-			covered[i] = true
+			cov[i] = true
 		}
 	}
-	for i := range covered {
-		if !covered[i] {
-			var errs []error
-			for _, j := range t.touched {
-				if t.errs[j] != nil {
-					errs = append(errs, t.errs[j])
-				}
+	for i := range cov {
+		if !cov[i] {
+			if len(errs) > 0 {
+				return errors.Join(errs...)
 			}
-			return errors.Join(errs...)
+			return errNoReplica
+		}
+	}
+	for _, j := range t.touched {
+		if t.errs[j] == nil {
+			s.m.replicaPut.Add(int64(len(t.subPut[j])))
 		}
 	}
 	return nil
@@ -463,14 +493,16 @@ func (t *Thread) putAsyncReplicated(key, value []byte) *core.Handle {
 	ts := s.nextStamp()
 	set := s.replicaSet(key, make([]int, 0, s.replicas))
 	hs := make([]*core.Handle, 0, len(set))
+	js := make([]int, 0, len(set))
 	for _, j := range set {
 		if s.state[j].Load() == replicaDown {
 			s.m.replicaSkips.Inc()
 			continue
 		}
 		hs = append(hs, t.ths[j].PutTSAsync(key, value, ts))
+		js = append(js, j)
 	}
-	return s.joinWrite(hs, s.m.replicaPut)
+	return s.joinWrite(hs, js, s.m.replicaPut)
 }
 
 // deleteAsyncReplicated is putAsyncReplicated for tombstones.
@@ -479,21 +511,25 @@ func (t *Thread) deleteAsyncReplicated(key []byte) *core.Handle {
 	ts := s.nextStamp()
 	set := s.replicaSet(key, make([]int, 0, s.replicas))
 	hs := make([]*core.Handle, 0, len(set))
+	js := make([]int, 0, len(set))
 	for _, j := range set {
 		if s.state[j].Load() == replicaDown {
 			s.m.replicaSkips.Inc()
 			continue
 		}
 		hs = append(hs, t.ths[j].DeleteTSAsync(key, ts))
+		js = append(js, j)
 	}
-	return s.joinWrite(hs, s.m.replicaDelete)
+	return s.joinWrite(hs, js, s.m.replicaDelete)
 }
 
 // joinWrite composes per-replica write handles into one: nil if any
 // replica succeeded, ErrNotFound if every replica reported it (deletes
-// of a missing key), otherwise the first error. Completion time is the
-// slowest replica's — the fan-out is a barrier in virtual time.
-func (s *Store) joinWrite(hs []*core.Handle, opCounter interface{ Inc() }) *core.Handle {
+// of a missing key), otherwise the first error. js names the shard
+// behind each handle so a replica that failed with a non-closed error
+// can be demoted to repairing. Completion time is the slowest
+// replica's — the fan-out is a barrier in virtual time.
+func (s *Store) joinWrite(hs []*core.Handle, js []int, opCounter interface{ Inc() }) *core.Handle {
 	if len(hs) == 0 {
 		ph, resolve := core.NewProxyHandle()
 		resolve(nil, errNoReplica, 0)
@@ -505,7 +541,8 @@ func (s *Store) joinWrite(hs []*core.Handle, opCounter interface{ Inc() }) *core
 	anyOK, allNotFound := false, true
 	var firstErr error
 	var endMax int64
-	for _, h := range hs {
+	for k, h := range hs {
+		j := js[k]
 		h.OnDone(func(h *core.Handle) {
 			err := h.Wait()
 			mu.Lock()
@@ -516,12 +553,19 @@ func (s *Store) joinWrite(hs []*core.Handle, opCounter interface{ Inc() }) *core
 				opCounter.Inc()
 			case errors.Is(err, core.ErrNotFound):
 				// counts toward allNotFound
+			case errors.Is(err, core.ErrClosed):
+				allNotFound = false
+				if firstErr == nil {
+					firstErr = err
+				}
+				s.m.replicaErrors.Inc()
 			default:
 				allNotFound = false
 				if firstErr == nil {
 					firstErr = err
 				}
 				s.m.replicaErrors.Inc()
+				s.markNeedsRepair(j)
 			}
 			if at := h.CompletedAt(); at > endMax {
 				endMax = at

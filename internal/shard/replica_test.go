@@ -463,3 +463,174 @@ func TestAutoRepairWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: PutBatch must fail an entry whose entire replica set is
+// down instead of silently acknowledging it. With every shard crashed
+// no sub-batch is formed at all, so no sub-batch error fires — the
+// per-entry coverage check has to run unconditionally.
+func TestBatchAllReplicasDownNotAcked(t *testing.T) {
+	s := repl(t, 3, 2, nil)
+	th := s.Thread(0)
+	kvs := []core.KV{
+		{Key: key(0), Value: value(0)},
+		{Key: key(1), Value: value(1)},
+	}
+	s.Crash()
+	if err := th.PutBatch(kvs); !errors.Is(err, errNoReplica) {
+		t.Fatalf("PutBatch after Crash = %v, want errNoReplica", err)
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Partial outage: crash both shards of one key's replica set while
+	// other sets stay live — the batch must still fail, not ack the
+	// uncoverable entry on the strength of its neighbors.
+	var victim []byte
+	for i := 0; victim == nil; i++ {
+		if s.ShardOf(key(i)) == 1 {
+			victim = key(i)
+		}
+	}
+	var covered []byte
+	for i := 0; covered == nil; i++ {
+		if s.ShardOf(key(i)) == 0 {
+			covered = key(i)
+		}
+	}
+	s.CrashShard(1)
+	s.CrashShard(2) // victim's set is {1, 2}
+	err := th.PutBatch([]core.KV{
+		{Key: covered, Value: value(1)}, // set {0,1}: shard 0 live
+		{Key: victim, Value: value(2)},  // set {1,2}: fully down
+	})
+	if !errors.Is(err, errNoReplica) {
+		t.Fatalf("PutBatch with one set fully down = %v, want errNoReplica", err)
+	}
+}
+
+// Regression: DisableMetrics with Replicas > 1 must not panic — the
+// per-position replicaReads slice is indexed on every successful read
+// and has to exist even when no registry does.
+func TestReplicatedDisableMetrics(t *testing.T) {
+	s := repl(t, 3, 2, func(o *core.Options) { o.DisableMetrics = true })
+	th := s.Thread(0)
+	for i := 0; i < 50; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		v, err := th.Get(key(i))
+		if err != nil || !bytes.Equal(v, value(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, err)
+		}
+	}
+	s.CrashShard(0)
+	for i := 0; i < 50; i++ {
+		if _, err := th.Get(key(i)); err != nil {
+			t.Fatalf("Get(%d) with shard 0 down: %v", i, err)
+		}
+	}
+}
+
+// Regression: a repairing shard whose keyspace peer is down must not be
+// promoted to up by a pass that pulled nothing — the down peer may hold
+// the only copy of acked writes, and once the shard is up anti-entropy
+// would never pull them in. Promotion waits until every keyspace peer
+// was consultable.
+func TestNoPromotionWhilePeerDown(t *testing.T) {
+	s := repl(t, 3, 2, nil)
+	th := s.Thread(0)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash shard 1; the write burst acks on the survivors only.
+	s.CrashShard(1)
+	for i := n; i < n+100; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash shard 2 (which holds the only copy of burst keys whose set
+	// is {1, 2}), then bring shard 1 back: its repair pass cannot
+	// consult peer 2 and must leave it in the repairing state however
+	// many passes run.
+	s.CrashShard(2)
+	if _, err := s.RecoverShard(1); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < maxRepairPasses; pass++ {
+		if s.RepairShard(1).Applied() == 0 {
+			break
+		}
+	}
+	if st := s.ReplicaState(1); st != int(replicaRepairing) {
+		t.Fatalf("shard 1 state after repair with peer 2 down = %d, want repairing", st)
+	}
+	// Peer recovers; repair now converges everything and promotes.
+	if _, err := s.RecoverShard(2); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2*maxRepairPasses; pass++ {
+		if s.Repair().Applied() == 0 && s.ReplicaState(1) == int(replicaUp) && s.ReplicaState(2) == int(replicaUp) {
+			break
+		}
+	}
+	if st := s.ReplicaState(1); st != int(replicaUp) {
+		t.Fatalf("shard 1 state after full repair = %d, want up", st)
+	}
+	if err := s.ConvergenceCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// Every acked write — including the burst taken while shard 1 was
+	// down — reads back.
+	for i := 0; i < n+100; i++ {
+		v, err := th.Get(key(i))
+		if err != nil || !bytes.Equal(v, value(i)) {
+			t.Fatalf("Get(%d) after repair = %q, %v", i, v, err)
+		}
+	}
+}
+
+// Regression: Scan must consult a repairing shard for keyspace whose up
+// replicas are all gone (one replica down, the other mid-repair), and
+// must fail with errNoReplica — not silently omit keys — when a replica
+// set has no live member at all.
+func TestScanCoversRepairingSet(t *testing.T) {
+	s := repl(t, 3, 2, nil)
+	th := s.Thread(0)
+	const n = 150
+	for i := 0; i < n; i++ {
+		if err := th.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shard 1 crashes and comes back repairing (no repair pass runs:
+	// auto-repair is off); then shard 2 crashes. Set {1, 2} now has no
+	// up member — only repairing shard 1 can serve it.
+	s.CrashShard(1)
+	if _, err := s.RecoverShard(1); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashShard(2)
+	var got []string
+	if err := th.Scan([]byte("user"), 0, func(kv core.KV) bool {
+		got = append(got, string(kv.Key))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scan with set {1,2} on its repairing member returned %d keys, want %d", len(got), n)
+	}
+	// Lose the repairing member too: set {1, 2} has no live replica and
+	// the scan must error rather than drop its keyspace.
+	s.CrashShard(1)
+	err := th.Scan([]byte("user"), 0, func(kv core.KV) bool { return true })
+	if !errors.Is(err, errNoReplica) {
+		t.Fatalf("scan with a fully-down replica set = %v, want errNoReplica", err)
+	}
+}

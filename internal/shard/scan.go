@@ -33,16 +33,48 @@ func (t *Thread) Scan(start []byte, count int, fn func(kv core.KV) bool) error {
 	// up to Replicas shards, so equal heads across streams collapse to
 	// one emission. During a divergence window (a replica mid-repair)
 	// the surviving copy is whichever stream sorts first — scans are
-	// eventually consistent, like replicated reads.
-	include := make([]bool, len(s.shards))
-	anyUp := false
-	for j := range s.shards {
-		include[j] = s.state[j].Load() == replicaUp
-		anyUp = anyUp || include[j]
-	}
-	if !anyUp {
-		for j := range s.shards {
-			include[j] = s.state[j].Load() == replicaRepairing
+	// eventually consistent, like replicated reads. Coverage is checked
+	// per replica set: a set with no up member contributes its repairing
+	// members (matching single-key Get's last-resort fallback), and a
+	// set with no live member at all fails the scan with errNoReplica
+	// rather than silently omitting its keyspace. Without replication
+	// every shard is scanned, so a crashed shard surfaces its error.
+	n := len(s.shards)
+	include := make([]bool, n)
+	if s.replicas <= 1 {
+		for j := range include {
+			include[j] = true
+		}
+	} else {
+		states := make([]int32, n)
+		for j := range states {
+			states[j] = s.state[j].Load()
+			include[j] = states[j] == replicaUp
+		}
+		for p := 0; p < n; p++ {
+			hasUp := false
+			for k := 0; k < s.replicas; k++ {
+				if states[(p+k)%n] == replicaUp {
+					hasUp = true
+					break
+				}
+			}
+			if hasUp {
+				continue
+			}
+			hasAny := false
+			for k := 0; k < s.replicas; k++ {
+				j := (p + k) % n
+				if states[j] == replicaRepairing {
+					include[j] = true
+					hasAny = true
+				}
+			}
+			if !hasAny {
+				// Keys whose primary is p have no live replica; a scan
+				// cannot serve its contract over that keyspace.
+				return errNoReplica
+			}
 		}
 	}
 	lists := make([][]core.KV, len(s.shards))

@@ -114,6 +114,7 @@ type Thread struct {
 	touched []int       // shards hit by the current batch
 	errs    []error     // per-shard fan-out errors
 	rset    []int       // replica-set scratch for sync replicated ops
+	cov     []bool      // per-entry coverage scratch for replicated PutBatch
 }
 
 // Open creates a Store of opt.Shards independent core stores (default
@@ -179,6 +180,11 @@ func Open(opt core.Options) (*Store, error) {
 	}
 	s.state = make([]atomic.Int32, n)
 	if r > 1 {
+		// The per-position read counters are indexed unconditionally on
+		// the replicated read path, so the slice must exist even when
+		// metrics are disabled (its nil *obs.Counter elements are no-op;
+		// registerReplicaMetrics fills them in when metrics are on).
+		s.m.replicaReads = make([]*obs.Counter, r)
 		s.repairCh = make(chan int, 4*MaxShards)
 		s.repairStop = make(chan struct{})
 		if !opt.DisableAutoRepair {
