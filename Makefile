@@ -29,6 +29,7 @@ race:
 	$(GO) test -race -count=1 -run 'TestShardBatchFanoutStress$$' ./internal/shard
 	$(GO) test -race -count=1 -run 'TestReplicaFanoutStress$$' ./internal/shard
 	$(GO) test -race -count=1 -run 'TestAsyncCompletionStress$$' ./internal/core
+	$(GO) test -race -count=1 -run 'TestAdaptiveWatermarkBurstStress$$' ./internal/core
 	$(GO) test -race -count=1 -run 'TestDiagPrismLoad$$' ./internal/bench
 
 # fmt-check fails (listing the files) if any file needs gofmt.
@@ -69,6 +70,7 @@ BENCH_OUT ?= .
 bench-record:
 	$(GO) run ./cmd/prism-bench -run pipelinedepth -records 4000 -metrics-out $(BENCH_OUT)/BENCH_pipelinedepth.json
 	$(GO) run ./cmd/prism-bench -run replication -records 4000 -metrics-out $(BENCH_OUT)/BENCH_replication.json
+	$(GO) run ./cmd/prism-bench -run tiering -records 4000 -metrics-out $(BENCH_OUT)/BENCH_tiering.json
 
 # bench-check regenerates the trajectories into a scratch directory and
 # fails if any capture's virtual-time throughput regressed more than 25%
@@ -80,6 +82,7 @@ bench-check:
 	$(MAKE) bench-record BENCH_OUT=.bench-new
 	$(GO) run ./cmd/prism-bench -compare BENCH_pipelinedepth.json,.bench-new/BENCH_pipelinedepth.json
 	$(GO) run ./cmd/prism-bench -compare BENCH_replication.json,.bench-new/BENCH_replication.json
+	$(GO) run ./cmd/prism-bench -compare BENCH_tiering.json,.bench-new/BENCH_tiering.json
 
 # fuzz-smoke runs a short fuzz pass over the RESP parser.
 fuzz-smoke:

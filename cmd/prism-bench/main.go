@@ -24,6 +24,10 @@
 //	-pipeline N  submit ops through the async pipeline, draining every N
 //	             submissions (default 1 = synchronous; see the
 //	             pipelinedepth experiment for a sweep)
+//	-tiers SPEC  heterogeneous SSD array with hot/cold tiering: a comma-
+//	             separated device list, each size[:writeMBps[:readMBps]]
+//	             with K/M/G suffixes, e.g. 64M:5000,512M:1000 (Prism
+//	             only; see the tiering experiment for the built-in pair)
 //
 // Observability (METRICS.md):
 //
@@ -54,6 +58,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/bench"
 )
 
@@ -76,10 +81,15 @@ func main() {
 		every   = flag.Int64("metrics-every", 0, "also sample metrics every N virtual ms (implies -metrics)")
 		mout    = flag.String("metrics-out", "", "write the metrics document to this file instead of stdout (implies -metrics)")
 		pipe    = flag.Int("pipeline", 1, "submit ops through the async pipeline, draining every N submissions")
+		tiers   = flag.String("tiers", "", "heterogeneous SSD array with hot/cold tiering: size[:writeMBps[:readMBps]],... (Prism only)")
 		compare = flag.String("compare", "", "OLD,NEW: compare two trajectory JSON files, exit 1 on regression")
 		cthresh = flag.Float64("compare-threshold", 0.25, "allowed fractional throughput drop for -compare")
 	)
 	flag.Parse()
+	if _, err := prism.ParseTierSpec(*tiers); err != nil {
+		fmt.Fprintf(os.Stderr, "-tiers: %v\n", err)
+		os.Exit(1)
+	}
 	if *mformat != "json" && *mformat != "prom" {
 		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (json or prom)\n", *mformat)
 		os.Exit(1)
@@ -138,6 +148,7 @@ func main() {
 		Pipeline:  *pipe,
 		Shards:    *shards,
 		Replicas:  *reps,
+		TierSpec:  *tiers,
 	}
 	var mc *bench.MetricsCollector
 	if *metrics || *every > 0 || *mout != "" {

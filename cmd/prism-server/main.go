@@ -21,6 +21,12 @@
 //	              (default 1; every shard gets the full sizing above)
 //	-replicas N   place each key on N shards of the ring for failover
 //	              (default 1 = unreplicated; requires -shards >= N)
+//	-tiers SPEC   heterogeneous SSD array with hot/cold tiering: comma-
+//	              separated size[:writeMBps[:readMBps]] devices with
+//	              K/M/G suffixes (replaces -ssds/-ssd-bytes)
+//	-ssd-write-mbps N / -ssd-read-mbps N
+//	              override every device's bandwidth, keeping the
+//	              homogeneous array (mutually exclusive with -tiers)
 //
 // Server behavior:
 //
@@ -46,6 +52,7 @@ import (
 
 	"repro"
 	"repro/internal/server"
+	"repro/internal/ssd"
 )
 
 func main() {
@@ -64,8 +71,29 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget")
 		metrics      = flag.Bool("metrics", false, "dump the final metrics snapshot as JSON on shutdown")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus-format metrics over HTTP at this address (empty = off)")
+		tiers        = flag.String("tiers", "", "heterogeneous SSD array with hot/cold tiering: size[:writeMBps[:readMBps]],...")
+		wmbps        = flag.Int64("ssd-write-mbps", 0, "override every SSD's write bandwidth, MB/s (0 = paper default)")
+		rmbps        = flag.Int64("ssd-read-mbps", 0, "override every SSD's read bandwidth, MB/s (0 = paper default)")
 	)
 	flag.Parse()
+
+	tierCfgs, err := prism.ParseTierSpec(*tiers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "-tiers:", err)
+		os.Exit(1)
+	}
+	if len(tierCfgs) > 0 && (*wmbps > 0 || *rmbps > 0) {
+		fmt.Fprintln(os.Stderr, "-tiers already sets per-device speeds; drop -ssd-write-mbps/-ssd-read-mbps")
+		os.Exit(1)
+	}
+	if len(tierCfgs) == 0 && (*wmbps > 0 || *rmbps > 0) {
+		tierCfgs = make([]ssd.Config, *ssds)
+		for i := range tierCfgs {
+			tierCfgs[i].Size = *ssdBytes
+			tierCfgs[i].WriteBandwidth = *wmbps * 1_000_000
+			tierCfgs[i].ReadBandwidth = *rmbps * 1_000_000
+		}
+	}
 
 	store, err := prism.Open(prism.Options{
 		NumThreads:        *threads,
@@ -73,6 +101,8 @@ func main() {
 		HSITCapacity:      *keys,
 		NumSSDs:           *ssds,
 		SSDBytes:          *ssdBytes,
+		SSDConfigs:        tierCfgs,
+		EnableTiering:     *tiers != "",
 		SVCBytes:          *svcBytes,
 		Shards:            *shards,
 		Replicas:          *replicas,

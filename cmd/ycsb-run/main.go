@@ -16,6 +16,12 @@
 // last-writer-wins replication (Prism only; requires -shards >= N).
 // -pipeline N submits ops through the engine's async pipeline, draining
 // every N submissions (engines without one fall back to sync calls).
+// -tiers SPEC runs Prism on a heterogeneous SSD array with hot/cold
+// tiering: comma-separated size[:writeMBps[:readMBps]] devices with
+// K/M/G suffixes, e.g. -tiers 64M:5000,512M:1000.
+// -ssd-write-mbps / -ssd-read-mbps override every simulated device's
+// bandwidth while keeping the homogeneous array (Prism only; mutually
+// exclusive with -tiers).
 // -metrics prints the store's final obs snapshot (METRICS.md) as the last
 // output; -metrics-format selects json (default) or prom (Prometheus
 // text). Baselines without a registry print {} / nothing.
@@ -27,7 +33,9 @@ import (
 	"os"
 	"strings"
 
+	"repro"
 	"repro/internal/bench"
+	"repro/internal/ssd"
 	"repro/internal/ycsb"
 )
 
@@ -47,10 +55,21 @@ func main() {
 		replicas   = flag.Int("replicas", 1, "place each key on this many shards of the router ring (Prism only)")
 		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot (see METRICS.md)")
 		mformat    = flag.String("metrics-format", "json", "metrics output format: json or prom")
+		tiers      = flag.String("tiers", "", "heterogeneous SSD array with hot/cold tiering: size[:writeMBps[:readMBps]],... (Prism only)")
+		wmbps      = flag.Int64("ssd-write-mbps", 0, "override every SSD's write bandwidth, MB/s (Prism only; 0 = paper default)")
+		rmbps      = flag.Int64("ssd-read-mbps", 0, "override every SSD's read bandwidth, MB/s (Prism only; 0 = paper default)")
 	)
 	flag.Parse()
 	if *mformat != "json" && *mformat != "prom" {
 		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (json or prom)\n", *mformat)
+		os.Exit(1)
+	}
+	if _, err := prism.ParseTierSpec(*tiers); err != nil {
+		fmt.Fprintf(os.Stderr, "-tiers: %v\n", err)
+		os.Exit(1)
+	}
+	if *tiers != "" && (*wmbps > 0 || *rmbps > 0) {
+		fmt.Fprintln(os.Stderr, "-tiers already sets per-device speeds; drop -ssd-write-mbps/-ssd-read-mbps")
 		os.Exit(1)
 	}
 
@@ -66,12 +85,26 @@ func main() {
 	if *engineName == bench.EngineSLMDB {
 		th = 1 // the open-source SLM-DB is single-threaded (§7.4)
 	}
+	var mut func(*prism.Options)
+	if *wmbps > 0 || *rmbps > 0 {
+		mut = func(o *prism.Options) {
+			cfgs := make([]ssd.Config, o.NumSSDs)
+			for i := range cfgs {
+				cfgs[i].Size = o.SSDBytes
+				cfgs[i].WriteBandwidth = *wmbps * 1_000_000
+				cfgs[i].ReadBandwidth = *rmbps * 1_000_000
+			}
+			o.SSDConfigs = cfgs
+		}
+	}
 	st, err := bench.NewEngine(*engineName, bench.Params{
 		Threads:   th,
 		Records:   *records,
 		ValueSize: *value,
 		Shards:    *shards,
 		Replicas:  *replicas,
+		TierSpec:  *tiers,
+		PrismMut:  mut,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -44,6 +44,12 @@ type Params struct {
 	// Only Prism replicates (the baselines ignore it).
 	Replicas int
 
+	// TierSpec, when non-empty, replaces the homogeneous SSD array with
+	// the parsed per-device configs (core.ParseTierSpec format) and
+	// enables hot/cold tiering. Only Prism tiers (the baselines ignore
+	// it).
+	TierSpec string
+
 	// PrismMut lets experiments override Prism options (ablations,
 	// sweeps). Applied after scaling.
 	PrismMut func(*core.Options)
@@ -96,6 +102,14 @@ func PrismOptions(p Params) core.Options {
 		QueueDepth:        p.QueueDepth,
 		Shards:            p.Shards,
 		Replicas:          p.Replicas,
+	}
+	if p.TierSpec != "" {
+		cfgs, err := core.ParseTierSpec(p.TierSpec)
+		if err == nil && len(cfgs) > 0 {
+			opt.SSDConfigs = cfgs
+			opt.NumSSDs = len(cfgs)
+			opt.EnableTiering = true
+		}
 	}
 	if p.PrismMut != nil {
 		p.PrismMut(&opt)

@@ -35,6 +35,9 @@ func runSuite(kinds []string, workloads []ycsb.Workload, p Params, rc RunConfig)
 		if pk.Replicas == 0 {
 			pk.Replicas = rc.Replicas
 		}
+		if pk.TierSpec == "" {
+			pk.TierSpec = rc.TierSpec
+		}
 		if kind == EngineSLMDB {
 			pk.Threads = 1 // open-source SLM-DB is single-threaded (§7.4)
 		}
@@ -807,6 +810,7 @@ var Experiments = map[string]func(rc RunConfig) []Table{
 		return []Table{PipelineDepth(rc)}
 	},
 	"replication": func(rc RunConfig) []Table { return []Table{Replication(rc)} },
+	"tiering":     func(rc RunConfig) []Table { return []Table{Tiering(rc)} },
 }
 
 // ExperimentNames returns the sorted experiment list.

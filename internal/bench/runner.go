@@ -41,6 +41,11 @@ type RunConfig struct {
 	// Prism replicates (the baselines ignore it).
 	Replicas int
 
+	// TierSpec configures a heterogeneous SSD array with hot/cold
+	// tiering (core.ParseTierSpec format). Only Prism tiers (the
+	// baselines ignore it).
+	TierSpec string
+
 	// Batch, when > 1, groups consecutive same-kind operations into
 	// windows of up to Batch and issues them through engine.PutBatch /
 	// engine.MultiGet — native single-epoch batches on Prism, plain

@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestTieringGate is the hot/cold-steering acceptance gate (ISSUE 8):
+// on the same fast+capacity device pair under cold-heavy skewed
+// traffic, steering must (1) land at least 80% of cold-classified
+// reclaim bytes on the capacity tier, (2) measurably cut the fast
+// device's total bytes written and its per-device WAF versus untiered
+// round-robin placement, and (3) hold hot Get latency within 10% of the
+// untiered run. Virtual-time measurement keeps the comparison
+// deterministic for a given seed.
+func TestTieringGate(t *testing.T) {
+	rc := RunConfig{Threads: 2, Records: 4000, Ops: 4000, ValueSize: 1024}
+	untiered := runTiering(rc, false)
+	tiered := runTiering(rc, true)
+
+	t.Logf("untiered: fast %.1f MB written, WAF %.2f, hot C avg %.2fus p99 %.2fus",
+		untiered.FastBytes/(1<<20), untiered.FastWAF, untiered.Read.Lat.AvgUS, untiered.Read.Lat.P99US)
+	t.Logf("tiered:   fast %.1f MB written, WAF %.2f, hot C avg %.2fus p99 %.2fus, cold->capacity %.1f%%",
+		tiered.FastBytes/(1<<20), tiered.FastWAF, tiered.Read.Lat.AvgUS, tiered.Read.Lat.P99US,
+		tiered.ColdOnCapacityPct())
+
+	if tiered.ColdTotal == 0 {
+		t.Fatal("tiered mode classified no cold bytes; steering never engaged")
+	}
+	if pct := tiered.ColdOnCapacityPct(); pct < 80 {
+		t.Errorf("cold bytes on capacity tier = %.1f%%, want >= 80%%", pct)
+	}
+	if untiered.FastBytes == 0 || tiered.FastBytes >= untiered.FastBytes*0.8 {
+		t.Errorf("fast-tier bytes written: tiered %.0f vs untiered %.0f, want a >20%% cut",
+			tiered.FastBytes, untiered.FastBytes)
+	}
+	if tiered.FastWAF >= untiered.FastWAF {
+		t.Errorf("fast-tier WAF: tiered %.3f vs untiered %.3f, want a drop",
+			tiered.FastWAF, untiered.FastWAF)
+	}
+	if tiered.Read.Lat.AvgUS > untiered.Read.Lat.AvgUS*1.10 {
+		t.Errorf("hot Get avg latency: tiered %.2fus vs untiered %.2fus, want within 10%%",
+			tiered.Read.Lat.AvgUS, untiered.Read.Lat.AvgUS)
+	}
+}

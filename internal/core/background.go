@@ -61,6 +61,9 @@ func (s *Store) reclaimBuffer(threadID int, clk *sim.Clock, rng *sim.RNG) {
 		return
 	}
 	s.stats.reclaims.Add(1)
+	// Adaptive-watermark feedback baseline: putStalls at pass start tells
+	// whether a put hit a full ring while this pass ran.
+	stalls0 := s.stats.putStalls.Load()
 
 	type liveRec struct {
 		idx    uint64
@@ -91,46 +94,108 @@ func (s *Store) reclaimBuffer(threadID int, clk *sim.Clock, rng *sim.RNG) {
 		return
 	}
 
-	i := 0
-	for i < len(live) {
-		devIdx, st := s.vsm.PickIdle(rng)
-		w, err := st.NewWriterReserve(s.gcReserve(st))
-		if err != nil {
-			// This store is out of chunks; kick its GC and try any other.
-			s.kickGC(devIdx, clk.Now())
-			w, devIdx, st = s.anyWriter(clk.Now())
-			if w == nil {
-				// Nothing free anywhere: leave the remaining records in
-				// the PWB (tail does not advance; a later reclaim retries
-				// once GC has produced space).
-				return
-			}
-		}
-		var batch []liveRec
-		for i < len(live) && w.Room(len(live[i].val)) {
-			w.Add(live[i].idx, live[i].val)
-			batch = append(batch, live[i])
-			i++
-		}
-		done, entries := w.Commit(clk.Now())
-		clk.AdvanceTo(done)
-		for j, e := range entries {
-			old := hsit.Pointer{Media: hsit.PWB, Len: e.ValueLen, Off: batch[j].devOff}
-			newp := hsit.Pointer{Media: hsit.VS, Len: e.ValueLen, Off: valuestore.GlobalOff(devIdx, e.LocalOff)}
-			if s.table.PublishIf(clk, e.HSITIdx, old, newp) {
-				s.stats.pwbLiveMigrated.Add(1)
+	// migrate writes recs into Value Storage and republishes their HSIT
+	// pointers. target >= 0 pins the destination (tier steering); -1
+	// keeps the paper's idle-device selection. When the target is out of
+	// chunks the records spill to any device with space (counted as
+	// fallback bytes — availability beats placement). Returns false when
+	// no device has space: the remaining records stay in the PWB (tail
+	// does not advance; a later reclaim retries once GC has produced
+	// space). Already-published records are then simply ill-coupled ring
+	// garbage, so a partial pass aborting is safe.
+	migrate := func(recs []liveRec, target int, hot bool) bool {
+		i := 0
+		for i < len(recs) {
+			var devIdx int
+			var st *valuestore.Store
+			steered := target >= 0
+			if steered {
+				devIdx, st = target, s.vsm.Stores[target]
 			} else {
-				// A foreground write superseded this value mid-flight.
-				s.stats.reclaimPublishLost.Add(1)
-				st.Invalidate(e.LocalOff, e.ValueLen)
+				devIdx, st = s.vsm.PickIdle(rng)
+			}
+			w, err := st.NewWriterReserve(s.gcReserve(st))
+			if err != nil {
+				// This store is out of chunks; kick its GC and try any other.
+				s.kickGC(devIdx, clk.Now())
+				w, devIdx, st = s.anyWriter(clk.Now())
+				if w == nil {
+					return false
+				}
+				steered = steered && devIdx == target
+			}
+			var batch []liveRec
+			for i < len(recs) && w.Room(len(recs[i].val)) {
+				w.Add(recs[i].idx, recs[i].val)
+				batch = append(batch, recs[i])
+				i++
+			}
+			done, entries := w.Commit(clk.Now())
+			clk.AdvanceTo(done)
+			for j, e := range entries {
+				if s.tiered() {
+					switch {
+					case hot && steered:
+						s.stats.tierHotSteered.Add(int64(e.ValueLen))
+					case hot:
+						s.stats.tierHotFallback.Add(int64(e.ValueLen))
+					case steered:
+						s.stats.tierColdSteered.Add(int64(e.ValueLen))
+					default:
+						s.stats.tierColdFallback.Add(int64(e.ValueLen))
+					}
+				}
+				old := hsit.Pointer{Media: hsit.PWB, Len: e.ValueLen, Off: batch[j].devOff}
+				newp := hsit.Pointer{Media: hsit.VS, Len: e.ValueLen, Off: valuestore.GlobalOff(devIdx, e.LocalOff)}
+				if s.table.PublishIf(clk, e.HSITIdx, old, newp) {
+					s.stats.pwbLiveMigrated.Add(1)
+					// First landing of this user value on an SSD: credit
+					// the per-device WAF denominator.
+					st.AttributeUserBytes(int64(e.ValueLen))
+				} else {
+					// A foreground write superseded this value mid-flight.
+					s.stats.reclaimPublishLost.Add(1)
+					st.Invalidate(e.LocalOff, e.ValueLen)
+				}
+			}
+			s.maybeKickGC(devIdx, st, clk.Now())
+		}
+		return true
+	}
+
+	if s.tiered() {
+		// Classify at reclaim time (§4.3 meets PrismDB's placement rule):
+		// hot values to the fastest device — migrated first, so they hit
+		// the SSD soonest — cold values to the capacity device.
+		var hot, cold []liveRec
+		for _, r := range live {
+			if s.hotIdx(r.idx) {
+				hot = append(hot, r)
+			} else {
+				cold = append(cold, r)
 			}
 		}
-		s.maybeKickGC(devIdx, st, clk.Now())
+		if !migrate(hot, s.tierFast, true) || !migrate(cold, s.tierCap, false) {
+			return
+		}
+	} else if !migrate(live, -1, false) {
+		return
 	}
 	// Every live value has been migrated; the whole scanned range is
 	// garbage. After epoch grace (no reader can still be inside, §5.4)
 	// the space becomes a grant, which the next pass folds into the tail.
 	s.em.Retire(func() { b.Grant(head) })
+	// Close the controller loop (§4.7): a background pass that completed
+	// without any put hitting a full ring means reclamation is keeping
+	// pace — relax the trigger upward to recover batching efficiency. A
+	// stall during the pass already decayed the trigger in
+	// writeAndPublish, so don't also raise it here. Sync-mode passes run
+	// inline on the putting thread (the put *is* the stall) and their
+	// decay happens at the trigger crossing in maybeKickReclaim, so they
+	// never adapt up.
+	if !s.opt.SyncVSWrites && s.stats.putStalls.Load() == stalls0 {
+		s.adaptWatermark(true)
+	}
 	for {
 		cur := s.reclaimStall[threadID].Load()
 		if clk.Now() <= cur || s.reclaimStall[threadID].CompareAndSwap(cur, clk.Now()) {

@@ -131,8 +131,10 @@ func (s *Store) registerMetrics() {
 			}
 			return m
 		})
-	r.GaugeFunc(obs.Desc{Name: "pwb.watermark", Help: "configured reclamation watermark", Unit: "ratio"},
+	r.GaugeFunc(obs.Desc{Name: "pwb.watermark", Help: "configured reclamation watermark (0 = adaptive)", Unit: "ratio"},
 		func() float64 { return s.opt.ReclaimWatermark })
+	r.GaugeFunc(obs.Desc{Name: "pwb.watermark_effective", Help: "reclamation trigger in force (the adaptive controller's value, or the configured watermark when fixed)", Unit: "ratio"},
+		s.effectiveWatermark)
 	r.CounterFunc(obs.Desc{Name: "pwb.bytes_appended", Help: "value payload bytes appended across rings", Unit: "bytes"},
 		func() int64 {
 			var t int64
@@ -168,6 +170,8 @@ func (s *Store) registerMetrics() {
 			func() float64 { return float64(vs.FreeChunks()) })
 		r.GaugeFunc(obs.Desc{Name: "vs.live_chunks", Help: "live (sealed, non-empty) chunks", Unit: "chunks", Labels: lbl},
 			func() float64 { return float64(vs.Stats().LiveChunks) })
+		r.CounterFunc(obs.Desc{Name: "vs.user_bytes", Help: "user payload bytes first landed on this device (per-device WAF denominator)", Unit: "bytes", Labels: lbl},
+			vs.UserBytes)
 	}
 
 	// ---- ssd: simulated flash devices ----
@@ -185,7 +189,24 @@ func (s *Store) registerMetrics() {
 		r.GaugeFunc(obs.Desc{Name: "ssd.queue_depth", Help: "staged, unacknowledged writes in flight", Unit: "ios", Labels: lbl},
 			func() float64 { return float64(dev.InFlight()) })
 	}
-	r.GaugeFunc(obs.Desc{Name: "ssd.waf", Help: "SSD-level write amplification: device bytes written / user bytes (Fig 12)", Unit: "ratio"},
+	// Per-device WAF: each device's acked bytes over the user bytes that
+	// first landed there, so a hot device's amplification is no longer
+	// averaged against idle capacity devices. Relocations onto a device
+	// (GC, demotion, scan rewrite) raise its numerator without touching
+	// its denominator — amplification, honestly attributed.
+	for i := range s.ssds {
+		i := i
+		lbl := map[string]string{"device": fmt.Sprintf("ssd%d", i)}
+		r.GaugeFunc(obs.Desc{Name: "ssd.waf", Help: "per-device write amplification: device bytes written / user bytes first landed on it", Unit: "ratio", Labels: lbl},
+			func() float64 {
+				user := s.vsm.Stores[i].UserBytes()
+				if user == 0 {
+					return 0
+				}
+				return float64(s.ssds[i].Stats().BytesWritten) / float64(user)
+			})
+	}
+	r.GaugeFunc(obs.Desc{Name: "ssd.waf", Help: "store-wide SSD write amplification: device bytes written / user bytes (Fig 12)", Unit: "ratio"},
 		func() float64 {
 			user := s.stats.userBytesWritten.Load()
 			if user == 0 {
@@ -196,6 +217,34 @@ func (s *Store) registerMetrics() {
 				dev += d.Stats().BytesWritten
 			}
 			return float64(dev) / float64(user)
+		})
+
+	// ---- tier: hot/cold value placement (PrismDB-style steering) ----
+	tierBytes := func(name, class, help string, v func() int64) {
+		r.CounterFunc(obs.Desc{Name: name, Help: help, Unit: "bytes",
+			Labels: map[string]string{"class": class}}, v)
+	}
+	tierBytes("tier.steered_bytes", "hot", "reclaimed bytes written to the class's intended tier", s.stats.tierHotSteered.Load)
+	tierBytes("tier.steered_bytes", "cold", "reclaimed bytes written to the class's intended tier", s.stats.tierColdSteered.Load)
+	tierBytes("tier.fallback_bytes", "hot", "reclaimed bytes spilled to another device (intended tier out of space)", s.stats.tierHotFallback.Load)
+	tierBytes("tier.fallback_bytes", "cold", "reclaimed bytes spilled to another device (intended tier out of space)", s.stats.tierColdFallback.Load)
+	r.CounterFunc(obs.Desc{Name: "tier.demotions", Help: "cooled-off values relocated fast tier -> capacity tier", Unit: "values"},
+		s.stats.tierDemotions.Load)
+	r.CounterFunc(obs.Desc{Name: "tier.demoted_bytes", Help: "payload bytes relocated by the demotion pass", Unit: "bytes"},
+		s.stats.tierDemotedBytes.Load)
+	r.GaugeFunc(obs.Desc{Name: "tier.fast_device", Help: "device index of the fast tier (-1 when tiering is off)", Unit: "index"},
+		func() float64 {
+			if !s.tiered() {
+				return -1
+			}
+			return float64(s.tierFast)
+		})
+	r.GaugeFunc(obs.Desc{Name: "tier.capacity_device", Help: "device index of the capacity tier (-1 when tiering is off)", Unit: "index"},
+		func() float64 {
+			if !s.tiered() {
+				return -1
+			}
+			return float64(s.tierCap)
 		})
 
 	// ---- nvm: persistent memory device ----

@@ -106,16 +106,45 @@ func TestMetricsMatchStats(t *testing.T) {
 	if devBytes == 0 {
 		t.Fatal("workload never reached the SSDs; enlarge it")
 	}
-	waf, ok := snap.Value("ssd.waf")
+	wafM, ok := snap.Get("ssd.waf", nil)
 	if !ok {
-		t.Fatal("ssd.waf missing")
+		t.Fatal("ssd.waf (aggregate row) missing")
 	}
+	waf := wafM.Value
 	want := float64(devBytes) / float64(stats.UserBytesWritten)
 	if diff := waf - want; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("ssd.waf = %v, want %v", waf, want)
 	}
 	if waf < 1.0 {
 		t.Errorf("ssd.waf = %v; values flow PWB->VS so device bytes should exceed user bytes", waf)
+	}
+
+	// Per-device WAF rows: each device's acked bytes over the user bytes
+	// first landed there, and the denominators must sum to what the
+	// reclaimers attributed (a subset of UserBytesWritten — values still
+	// in the PWB ring or superseded before migration never land).
+	var attributed int64
+	for i, d := range st.SSDs() {
+		lbl := map[string]string{"device": fmt.Sprintf("ssd%d", i)}
+		m, ok := snap.Get("ssd.waf", lbl)
+		if !ok {
+			t.Fatalf("ssd.waf%v missing", lbl)
+		}
+		user := st.vsm.Stores[i].UserBytes()
+		attributed += user
+		if user == 0 {
+			if m.Value != 0 {
+				t.Errorf("ssd.waf%v = %v with zero user bytes, want 0", lbl, m.Value)
+			}
+			continue
+		}
+		dw := float64(d.Stats().BytesWritten) / float64(user)
+		if diff := m.Value - dw; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("ssd.waf%v = %v, want %v", lbl, m.Value, dw)
+		}
+	}
+	if attributed == 0 || attributed > stats.UserBytesWritten {
+		t.Errorf("per-device user bytes attributed = %d, want in (0, %d]", attributed, stats.UserBytesWritten)
 	}
 
 	// Latency histograms must have one sample per operation.

@@ -120,6 +120,9 @@ func (t *Thread) writeAndPublish(idx uint64, value []byte, clearPending bool) er
 	off, _, err := t.buf.Append(t.Clk, idx, value)
 	if err == pwbFullErr {
 		s.stats.putStalls.Add(1)
+		// Feedback for the adaptive watermark: a full ring means
+		// reclamation started too late — lower the trigger.
+		s.adaptWatermark(false)
 		if s.opt.SyncVSWrites {
 			s.reclaimBuffer(t.id, t.Clk, t.rng)
 		} else {
@@ -137,6 +140,9 @@ func (t *Thread) writeAndPublish(idx uint64, value []byte, clearPending bool) er
 	if clearPending {
 		t.buf.Published()
 	}
+	if s.heat != nil {
+		s.heat.Touch(idx) // write heat: a fresh put is a hot key
+	}
 	t.invalidateOld(idx, old)
 	if s.opt.SyncVSWrites && t.buf.Used() >= s.opt.ChunkSize {
 		// Ablation: no asynchronous bandwidth-optimized write — the
@@ -147,15 +153,27 @@ func (t *Thread) writeAndPublish(idx uint64, value []byte, clearPending bool) er
 	return nil
 }
 
-// maybeKickReclaim triggers background reclamation at the watermark
-// (§4.3: 50% utilization).
+// maybeKickReclaim triggers background reclamation at the effective
+// watermark (§4.3: 50% by default; the adaptive controller moves it).
 func (t *Thread) maybeKickReclaim() {
-	if t.s.opt.SyncVSWrites {
+	if t.buf.Utilization() < t.s.effectiveWatermark() {
 		return
 	}
-	if t.buf.Utilization() >= t.s.opt.ReclaimWatermark {
-		t.kickReclaim()
+	if t.s.opt.SyncVSWrites {
+		// The put thread owns its buffer's scans in sync mode, so reclaim
+		// inline at the trigger: passes are watermark-sized instead of
+		// always full-ring at ErrFull, which is what lets the adaptive
+		// controller bound the reclamation share of a put's latency. The
+		// put crossing the trigger absorbs the whole pass — a put-latency
+		// stall by construction — so it is also the controller's decay
+		// signal: the trigger shrinks until pass cost stops dominating
+		// the stalled put's latency.
+		t.s.adaptWatermark(false)
+		t.s.reclaimBuffer(t.id, t.Clk, t.rng)
+		t.s.em.Collect()
+		return
 	}
+	t.kickReclaim()
 }
 
 func (t *Thread) kickReclaim() {

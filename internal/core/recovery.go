@@ -185,7 +185,11 @@ func (s *Store) Recover() (RecoveryReport, error) {
 		drainClk.AdvanceTo(done)
 		for j, e := range entries {
 			newp := hsit.Pointer{Media: hsit.VS, Len: e.ValueLen, Off: valuestore.GlobalOff(devIdx, e.LocalOff)}
-			if !s.table.PublishIf(drainClk, e.HSITIdx, batch[j].p, newp) {
+			if s.table.PublishIf(drainClk, e.HSITIdx, batch[j].p, newp) {
+				// First landing of this user value on an SSD (it only ever
+				// lived in the PWB before the crash): per-device WAF credit.
+				st.AttributeUserBytes(int64(e.ValueLen))
+			} else {
 				st.Invalidate(e.LocalOff, e.ValueLen)
 			}
 		}
@@ -199,6 +203,11 @@ func (s *Store) Recover() (RecoveryReport, error) {
 	rep.LiveKeys = s.table.RebuildVolatile(func(idx uint64) bool { return allReach[idx] }, uint64(s.table.Capacity()))
 	rep.VSValuesRecovered = rep.LiveKeys - rep.PWBValuesDrained
 
+	// Heat state is DRAM-resident and died with the crash: every key
+	// restarts cold (placement already made persists in Value Storage).
+	if s.heat != nil {
+		s.heat = newHeatTracker(s.opt.HSITCapacity)
+	}
 	if !s.opt.DisableSVC {
 		cfg := svc.Config{
 			CapacityBytes: s.opt.SVCBytes,
@@ -209,14 +218,18 @@ func (s *Store) Recover() (RecoveryReport, error) {
 		if !s.opt.DisableScanSort {
 			cfg.OnScanEvict = s.onScanEvict
 		}
+		if s.heat != nil {
+			cfg.OnPromote = s.heat.Touch
+		}
 		s.cache = svc.New(cfg)
 	}
 	s.stop = make(chan struct{})
-	s.bg.Add(1 + len(s.threads))
+	s.bg.Add(2 + len(s.threads))
 	for i := range s.threads {
 		go s.reclaimLoop(i)
 	}
 	go s.gcLoop()
+	go s.maintenanceLoop()
 	for _, t := range s.threads {
 		t.async.reset()
 	}

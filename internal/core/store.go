@@ -69,7 +69,11 @@ type Options struct {
 	// Default 256.
 	AsyncMaxPending int
 	// ReclaimWatermark is the PWB utilization that triggers background
-	// reclamation. Default 0.5 (§4.3).
+	// reclamation. Zero selects the adaptive controller, which starts at
+	// 0.5 (§4.3) and closes the loop from put stalls and reclaim-pass
+	// outcomes: a stall lowers the trigger (reclaim starts earlier, so
+	// the ring has headroom when the next burst arrives) and a stall-free
+	// pass raises it back. A non-zero value pins the fixed watermark.
 	ReclaimWatermark float64
 	// GCFreeFraction triggers Value Storage GC when the free-chunk
 	// fraction drops below it. Default 0.25.
@@ -78,6 +82,19 @@ type Options struct {
 	// NVM and SSD performance envelopes (zero = paper defaults).
 	NVM nvm.Config
 	SSD ssd.Config
+
+	// SSDConfigs, when non-empty, gives each device its own envelope —
+	// the heterogeneous array of §2.1 — and overrides NumSSDs with its
+	// length. A config's zero Size falls back to SSDBytes and its Name is
+	// always rewritten to ssdN.
+	SSDConfigs []ssd.Config
+
+	// EnableTiering turns on hot/cold value placement: the PWB reclaimer
+	// steers hot values (SVC-promoted or recently written) to the fastest
+	// device and cold values to the highest-capacity one, and a
+	// background pass demotes values that cool off. It is a no-op when
+	// tier selection cannot tell two devices apart (a single SSD).
+	EnableTiering bool
 
 	// Ablation switches (§7.6 "impact of individual techniques").
 	DisableSVC       bool  // no DRAM value cache
@@ -140,6 +157,9 @@ func (o *Options) applyDefaults() {
 	if o.HSITCapacity == 0 {
 		o.HSITCapacity = 1 << 16
 	}
+	if len(o.SSDConfigs) > 0 {
+		o.NumSSDs = len(o.SSDConfigs)
+	}
 	if o.NumSSDs == 0 {
 		o.NumSSDs = 2
 	}
@@ -158,9 +178,7 @@ func (o *Options) applyDefaults() {
 	if o.AsyncMaxPending == 0 {
 		o.AsyncMaxPending = 256
 	}
-	if o.ReclaimWatermark == 0 {
-		o.ReclaimWatermark = 0.5
-	}
+	// ReclaimWatermark deliberately has no default: zero means adaptive.
 	if o.GCFreeFraction == 0 {
 		o.GCFreeFraction = 0.25
 	}
@@ -210,6 +228,17 @@ type Store struct {
 	svcClk      *sim.Clock
 	lastRewrite int64 // guarded by svcMu; paces scan-range rewrites
 
+	// Tiering + adaptive admission (tiering.go). tierFast/tierCap are the
+	// device indices chosen at Open; equal when the array is
+	// indistinguishable (tiering then disables itself). heat is nil
+	// unless EnableTiering. watermark holds the effective reclaim
+	// trigger as float64 bits; adaptiveWM says whether the controller
+	// may move it.
+	tierFast, tierCap int
+	heat              *heatTracker
+	watermark         atomic.Uint64
+	adaptiveWM        bool
+
 	stats statsCounters
 
 	// repl is the per-key newest-stamp map for replication (nil unless
@@ -247,6 +276,12 @@ type statsCounters struct {
 
 	asyncPuts, asyncGets atomic.Int64
 	asyncDeletes         atomic.Int64
+
+	// Tiering: bytes the reclaimer steered to the intended tier vs. spilled
+	// to a fallback device, by heat class, and the demotion pass totals.
+	tierHotSteered, tierColdSteered   atomic.Int64
+	tierHotFallback, tierColdFallback atomic.Int64
+	tierDemotions, tierDemotedBytes   atomic.Int64
 }
 
 // Thread is one application thread's handle: it owns a virtual clock, an
@@ -294,6 +329,11 @@ func Open(opt Options) (*Store, error) {
 	if int64(opt.ChunkSize) > opt.SSDBytes {
 		return nil, errors.New("prism: chunk size exceeds SSD capacity")
 	}
+	for _, c := range opt.SSDConfigs {
+		if c.Size != 0 && int64(opt.ChunkSize) > c.Size {
+			return nil, errors.New("prism: chunk size exceeds SSD capacity")
+		}
+	}
 	hsitBytes := opt.HSITCapacity * hsit.EntrySize
 	pwbBase := (hsitBytes + 63) / 64 * 64
 	nvmSize := pwbBase + opt.NumThreads*opt.PWBBytesPerThread + 4096
@@ -326,7 +366,12 @@ func Open(opt Options) (*Store, error) {
 	}
 	for i := 0; i < opt.NumSSDs; i++ {
 		scfg := opt.SSD
-		scfg.Size = opt.SSDBytes
+		if len(opt.SSDConfigs) > 0 {
+			scfg = opt.SSDConfigs[i]
+		}
+		if scfg.Size == 0 {
+			scfg.Size = opt.SSDBytes
+		}
 		scfg.Name = fmt.Sprintf("ssd%d", i)
 		dev := ssd.New(scfg)
 		s.ssds = append(s.ssds, dev)
@@ -337,6 +382,7 @@ func Open(opt Options) (*Store, error) {
 		}
 	}
 	s.vsm = valuestore.NewManager(s.ssds, opt.ChunkSize, s.em)
+	s.initTiering()
 	if !opt.DisableSVC {
 		cfg := svc.Config{
 			CapacityBytes: opt.SVCBytes,
@@ -346,6 +392,9 @@ func Open(opt Options) (*Store, error) {
 		}
 		if !opt.DisableScanSort {
 			cfg.OnScanEvict = s.onScanEvict
+		}
+		if s.heat != nil {
+			cfg.OnPromote = s.heat.Touch
 		}
 		s.cache = svc.New(cfg)
 	}
@@ -382,11 +431,12 @@ func Open(opt Options) (*Store, error) {
 		s.reg = obs.NewRegistry()
 		s.registerMetrics()
 	}
-	s.bg.Add(1 + opt.NumThreads)
+	s.bg.Add(2 + opt.NumThreads)
 	for i := 0; i < opt.NumThreads; i++ {
 		go s.reclaimLoop(i)
 	}
 	go s.gcLoop()
+	go s.maintenanceLoop()
 	return s, nil
 }
 
@@ -463,6 +513,12 @@ type Stats struct {
 	ScanTornRecords            int64
 	IndexSpaceBytes            int64
 	HSITSpaceBytes             int64
+	TierHotSteeredBytes        int64
+	TierColdSteeredBytes       int64
+	TierHotFallbackBytes       int64
+	TierColdFallbackBytes      int64
+	TierDemotions              int64
+	TierDemotedBytes           int64
 	VS                         valuestore.Stats
 	SVC                        svc.Stats
 }
@@ -470,28 +526,34 @@ type Stats struct {
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Puts:               s.stats.puts.Load(),
-		Gets:               s.stats.gets.Load(),
-		BatchPuts:          s.stats.batchPuts.Load(),
-		BatchGets:          s.stats.batchGets.Load(),
-		AsyncPuts:          s.stats.asyncPuts.Load(),
-		AsyncGets:          s.stats.asyncGets.Load(),
-		AsyncDeletes:       s.stats.asyncDeletes.Load(),
-		Deletes:            s.stats.deletes.Load(),
-		Scans:              s.stats.scans.Load(),
-		SVCHits:            s.stats.svcHits.Load(),
-		PWBHits:            s.stats.pwbHits.Load(),
-		VSReads:            s.stats.vsReads.Load(),
-		UserBytesWritten:   s.stats.userBytesWritten.Load(),
-		Reclaims:           s.stats.reclaims.Load(),
-		PWBLiveMigrated:    s.stats.pwbLiveMigrated.Load(),
-		ScanRewrites:       s.stats.scanRewrites.Load(),
-		PutStalls:          s.stats.putStalls.Load(),
-		ReclaimPublishLost: s.stats.reclaimPublishLost.Load(),
-		ScanTornRecords:    s.stats.scanTornRecords.Load(),
-		IndexSpaceBytes:    s.index.SpaceBytes(),
-		HSITSpaceBytes:     s.table.SpaceBytes(),
-		VS:                 s.vsm.Stats(),
+		Puts:                  s.stats.puts.Load(),
+		Gets:                  s.stats.gets.Load(),
+		BatchPuts:             s.stats.batchPuts.Load(),
+		BatchGets:             s.stats.batchGets.Load(),
+		AsyncPuts:             s.stats.asyncPuts.Load(),
+		AsyncGets:             s.stats.asyncGets.Load(),
+		AsyncDeletes:          s.stats.asyncDeletes.Load(),
+		Deletes:               s.stats.deletes.Load(),
+		Scans:                 s.stats.scans.Load(),
+		SVCHits:               s.stats.svcHits.Load(),
+		PWBHits:               s.stats.pwbHits.Load(),
+		VSReads:               s.stats.vsReads.Load(),
+		UserBytesWritten:      s.stats.userBytesWritten.Load(),
+		Reclaims:              s.stats.reclaims.Load(),
+		PWBLiveMigrated:       s.stats.pwbLiveMigrated.Load(),
+		ScanRewrites:          s.stats.scanRewrites.Load(),
+		PutStalls:             s.stats.putStalls.Load(),
+		ReclaimPublishLost:    s.stats.reclaimPublishLost.Load(),
+		ScanTornRecords:       s.stats.scanTornRecords.Load(),
+		TierHotSteeredBytes:   s.stats.tierHotSteered.Load(),
+		TierColdSteeredBytes:  s.stats.tierColdSteered.Load(),
+		TierHotFallbackBytes:  s.stats.tierHotFallback.Load(),
+		TierColdFallbackBytes: s.stats.tierColdFallback.Load(),
+		TierDemotions:         s.stats.tierDemotions.Load(),
+		TierDemotedBytes:      s.stats.tierDemotedBytes.Load(),
+		IndexSpaceBytes:       s.index.SpaceBytes(),
+		HSITSpaceBytes:        s.table.SpaceBytes(),
+		VS:                    s.vsm.Stats(),
 	}
 	if s.cache != nil {
 		st.SVC = s.cache.Stats()

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hsit"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/valuestore"
+)
+
+// ---- per-key heat tracking ----
+
+// heatTracker classifies keys as hot by repeated recent access. Time is
+// a logical clock advanced by every touch (not virtual ns, so heat is
+// workload-relative). Touch sources are put publishes (write heat) and
+// SVC 2Q promotions (read heat, via svc.Config.OnPromote — itself a
+// second-access signal, matching this tracker's repetition requirement).
+//
+// A key is hot only when touched at least twice with the latest touch
+// inside the window. The repetition requirement is what makes the
+// signal usable at reclaim time: every record in the PWB ring was by
+// construction *written* recently, so recency alone would classify all
+// traffic — including a one-shot bulk load — as hot. Load-once data
+// stays cold and steers straight to the capacity tier; only re-written
+// or re-read keys earn the fast device (PrismDB's popularity rule).
+//
+// The state is DRAM-resident and volatile: after a crash every key
+// starts cold, which is safe — placement already made persists in Value
+// Storage, and heat re-accumulates with traffic.
+type heatTracker struct {
+	clock  atomic.Int64
+	window int64
+	last   []atomic.Int64 // HSIT idx -> logical clock of last touch (0 = never)
+	prev   []atomic.Int64 // HSIT idx -> logical clock of the touch before
+}
+
+func newHeatTracker(capacity int) *heatTracker {
+	w := int64(capacity) / 4
+	if w < 256 {
+		w = 256
+	}
+	return &heatTracker{
+		window: w,
+		last:   make([]atomic.Int64, capacity),
+		prev:   make([]atomic.Int64, capacity),
+	}
+}
+
+// Touch records an access to HSIT entry idx. Safe from any goroutine;
+// the prev/last pair is advisory, so a racing pair of touches at worst
+// misorders two timestamps.
+func (h *heatTracker) Touch(idx uint64) {
+	if idx >= uint64(len(h.last)) {
+		return
+	}
+	c := h.clock.Add(1)
+	h.prev[idx].Store(h.last[idx].Load())
+	h.last[idx].Store(c)
+}
+
+// Hot reports whether idx was touched at least twice, with the latest
+// touch within the last window accesses.
+func (h *heatTracker) Hot(idx uint64) bool {
+	if h.prev[idx].Load() == 0 {
+		return false
+	}
+	l := h.last[idx].Load()
+	return l != 0 && h.clock.Load()-l <= h.window
+}
+
+// ---- tier selection ----
+
+// initTiering ranks the SSD array and arms heat tracking. Called from
+// Open/Recover after the devices exist, before any thread runs.
+func (s *Store) initTiering() {
+	s.tierFast, s.tierCap = pickTiers(s.ssds)
+	if s.opt.EnableTiering && s.tierFast != s.tierCap {
+		if s.heat == nil {
+			s.heat = newHeatTracker(s.opt.HSITCapacity)
+		}
+	} else {
+		s.heat = nil
+	}
+	wm := s.opt.ReclaimWatermark
+	if wm == 0 {
+		s.adaptiveWM = true
+		wm = wmStart
+	}
+	s.watermark.Store(math.Float64bits(wm))
+}
+
+// tiered reports whether hot/cold steering is active.
+func (s *Store) tiered() bool { return s.heat != nil }
+
+// pickTiers returns the fastest device (highest write bandwidth, ties
+// broken by lower write latency then lower index) and the capacity
+// device (largest, ties broken toward any device other than fast so a
+// homogeneous two-device array still yields distinct tiers).
+func pickTiers(devs []*ssd.Device) (fast, capacity int) {
+	for i, d := range devs {
+		c, f := d.Config(), devs[fast].Config()
+		if c.WriteBandwidth > f.WriteBandwidth ||
+			(c.WriteBandwidth == f.WriteBandwidth && c.WriteLatency < f.WriteLatency) {
+			fast = i
+		}
+	}
+	for i, d := range devs {
+		c, k := d.Config(), devs[capacity].Config()
+		if c.Size > k.Size || (c.Size == k.Size && capacity == fast && i != fast) {
+			capacity = i
+		}
+	}
+	return fast, capacity
+}
+
+// hotIdx is the reclaim/demotion-time heat classification: recently
+// touched (written or SVC-promoted) or currently SVC-resident.
+func (s *Store) hotIdx(idx uint64) bool {
+	if s.heat != nil && s.heat.Hot(idx) {
+		return true
+	}
+	return s.cache != nil && s.table.LoadSVC(nil, idx) != 0
+}
+
+// ---- adaptive reclamation watermark ----
+
+// The controller is AIMD over the PWB utilization trigger. Decay is
+// driven only by genuine put-latency events: a ring-full stall
+// (reclamation started too late — multiplicative decrease buys the next
+// burst headroom), or, in SyncVSWrites mode, a put absorbing an inline
+// reclaim pass (the pass cost IS that put's stall, and it scales with
+// the trigger). A background pass that completes without any concurrent
+// stall additively raises the trigger back, recovering batching
+// efficiency. Pass frequency or duration is deliberately NOT a decay
+// signal: lowering the trigger makes passes more frequent, so
+// "passes dominate the timeline" feeds back on itself and pins the
+// trigger at the floor even under stall-free steady load.
+const (
+	wmStart = 0.5  // §4.3 default, also the adaptive starting point
+	wmFloor = 0.10 // never reclaim below 10% utilization
+	wmCeil  = 0.90 // never wait beyond 90%
+	wmDecay = 0.7  // multiplicative decrease on a put stall
+	wmStep  = 0.02 // additive increase on a stall-free reclaim pass
+)
+
+// effectiveWatermark is the trigger currently in force (the fixed
+// Options.ReclaimWatermark when non-zero, else the controller's value).
+func (s *Store) effectiveWatermark() float64 {
+	return math.Float64frombits(s.watermark.Load())
+}
+
+func (s *Store) adaptWatermark(up bool) {
+	if !s.adaptiveWM {
+		return
+	}
+	for {
+		old := s.watermark.Load()
+		w := math.Float64frombits(old)
+		if up {
+			w += wmStep
+			if w > wmCeil {
+				w = wmCeil
+			}
+		} else {
+			w *= wmDecay
+			if w < wmFloor {
+				w = wmFloor
+			}
+		}
+		if s.watermark.CompareAndSwap(old, math.Float64bits(w)) {
+			return
+		}
+	}
+}
+
+// ---- background maintenance ----
+
+// maintenanceLoop is the store's periodic worker: it probes every PWB so
+// a store left idle above the watermark still reclaims (the put path and
+// the async admission loop are the other two probes, but both go silent
+// when traffic stops), helps epoch collection along, and paces the
+// tiering demotion scan one chunk at a time.
+func (s *Store) maintenanceLoop() {
+	defer s.bg.Done()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	clk := sim.NewClock(0)
+	cursor := 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			if !s.opt.SyncVSWrites {
+				for i, b := range s.pwbs {
+					if b.Utilization() >= s.effectiveWatermark() {
+						// Trigger time 0: the reclaimer keeps its own
+						// clock and AdvanceTo(0) is a no-op, so we never
+						// read a foreground clock from this goroutine.
+						select {
+						case s.reclaimChs[i] <- 0:
+						default:
+						}
+					}
+				}
+			}
+			s.em.Collect()
+			cursor = s.demoteStep(clk, cursor)
+		}
+	}
+}
+
+// demoteStep runs one increment of the background demotion pass: when
+// the fast tier is more than half full, relocate the cold records of one
+// chunk to the capacity tier. The cursor makes successive ticks sweep
+// the whole fast store instead of re-scanning its head.
+func (s *Store) demoteStep(clk *sim.Clock, cursor int) int {
+	if !s.tiered() {
+		return cursor
+	}
+	fastSt := s.vsm.Stores[s.tierFast]
+	if fastSt.FreeChunks()*2 > fastSt.Chunks() {
+		return cursor
+	}
+	capSt := s.vsm.Stores[s.tierCap]
+	next, moved, done := fastSt.DemoteChunk(clk.Now(), cursor, capSt, s.gcReserve(capSt),
+		func(idx uint64) bool { return !s.hotIdx(idx) },
+		func(idx, oldLocal, newLocal uint64, vlen int) bool {
+			ok := s.table.PublishIf(clk, idx,
+				hsit.Pointer{Media: hsit.VS, Len: vlen, Off: valuestore.GlobalOff(s.tierFast, oldLocal)},
+				hsit.Pointer{Media: hsit.VS, Len: vlen, Off: valuestore.GlobalOff(s.tierCap, newLocal)})
+			if ok {
+				s.stats.tierDemotedBytes.Add(int64(vlen))
+			}
+			return ok
+		})
+	clk.AdvanceTo(done)
+	if moved > 0 {
+		s.stats.tierDemotions.Add(int64(moved))
+		s.maybeKickGC(s.tierCap, capSt, clk.Now())
+	}
+	s.em.Collect()
+	return next
+}
+
+// ---- tier spec parsing (cmd tools) ----
+
+// ParseTierSpec parses the -tiers flag: a comma-separated device list,
+// each "size[:writeMBps[:readMBps]]" with K/M/G size suffixes, e.g.
+// "64M:5000,512M:2000:3000" for a small fast device plus a large slow
+// one. Omitted bandwidths keep the paper's defaults. An empty spec
+// returns nil (homogeneous array from NumSSDs/SSDBytes).
+func ParseTierSpec(spec string) ([]ssd.Config, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []ssd.Config
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("tier spec %q: want size[:writeMBps[:readMBps]]", part)
+		}
+		size, err := parseSizeBytes(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("tier spec %q: %v", part, err)
+		}
+		var c ssd.Config
+		c.Size = size
+		if len(fields) > 1 {
+			mbps, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || mbps <= 0 {
+				return nil, fmt.Errorf("tier spec %q: bad write MB/s %q", part, fields[1])
+			}
+			c.WriteBandwidth = mbps * 1_000_000
+		}
+		if len(fields) > 2 {
+			mbps, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || mbps <= 0 {
+				return nil, fmt.Errorf("tier spec %q: bad read MB/s %q", part, fields[2])
+			}
+			c.ReadBandwidth = mbps * 1_000_000
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseSizeBytes(v string) (int64, error) {
+	v = strings.TrimSpace(v)
+	mult := int64(1)
+	if n := len(v); n > 0 {
+		switch v[n-1] {
+		case 'k', 'K':
+			mult, v = 1<<10, v[:n-1]
+		case 'm', 'M':
+			mult, v = 1<<20, v[:n-1]
+		case 'g', 'G':
+			mult, v = 1<<30, v[:n-1]
+		}
+	}
+	b, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || b <= 0 {
+		return 0, fmt.Errorf("bad size %q", v)
+	}
+	return b * mult, nil
+}

@@ -8,8 +8,12 @@ package obs
 //     restarted);
 //   - histograms report the interval's Count and Sum, with Mean
 //     recomputed from them; Min/Max/percentiles are structural over the
-//     whole history and stay cumulative (log-bucketed histograms cannot
-//     subtract rank state);
+//     whole history — log-bucketed histograms cannot subtract rank
+//     state — so they are zeroed rather than left at their cumulative
+//     values (which would silently mix lifetime tails into an interval
+//     snapshot). Consumers needing tails over an interval must keep
+//     their own histogram; trajectory comparison (prism-bench -compare)
+//     keys off KOps only and never reads these fields;
 //   - gauges are point-in-time readings and pass through unchanged.
 //
 // Series absent from prev (e.g. registered mid-run) are treated as
@@ -34,6 +38,10 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 				} else {
 					h.Count, h.Sum, h.Mean = 0, 0, 0
 				}
+				// Rank statistics cannot be diffed; zero them so an
+				// interval snapshot never reads as lifetime tails.
+				h.Min, h.Max = 0, 0
+				h.P50, h.P99, h.P999 = 0, 0, 0
 				m.Hist = &h
 				m.Value = float64(h.Count)
 			case m.Type == TypeCounter:

@@ -120,6 +120,10 @@ func New(cfg Config) *Device {
 // Size returns the device capacity in bytes.
 func (d *Device) Size() int64 { return d.cfg.Size }
 
+// Config returns the device's effective configuration (defaults applied).
+// Tier selection reads it to rank devices by speed and capacity.
+func (d *Device) Config() Config { return d.cfg }
+
 // Name returns the configured device name.
 func (d *Device) Name() string { return d.cfg.Name }
 

@@ -87,6 +87,7 @@ func (m *Manager) Stats() Stats {
 		st := s.Stats()
 		t.ChunksWritten += st.ChunksWritten
 		t.BytesWritten += st.BytesWritten
+		t.UserBytes += st.UserBytes
 		t.GCRuns += st.GCRuns
 		t.GCLiveMoved += st.GCLiveMoved
 		t.GCBytesMoved += st.GCBytesMoved

@@ -144,6 +144,7 @@ func (c *chunkMeta) reset() {
 type Stats struct {
 	ChunksWritten int64
 	BytesWritten  int64 // record bytes shipped to the SSD (incl. GC)
+	UserBytes     int64 // user payload bytes first landed on this device
 	GCRuns        int64
 	GCLiveMoved   int64 // live values relocated by GC
 	GCBytesMoved  int64 // payload bytes of those values
@@ -165,10 +166,23 @@ type Store struct {
 
 	chunksWritten atomic.Int64
 	bytesWritten  atomic.Int64
+	userBytes     atomic.Int64
 	gcRuns        atomic.Int64
 	gcLiveMoved   atomic.Int64
 	gcBytesMoved  atomic.Int64
 }
+
+// AttributeUserBytes credits n user payload bytes to this device — the
+// per-device WAF denominator. The engine calls it when a user value
+// first lands on the device (PWB reclamation or recovery drain
+// publishing a record here). Relocations (GC, demotion, scan rewrite)
+// deliberately do not re-attribute: their writes are amplification on
+// the destination device, which a per-device WAF must show.
+func (s *Store) AttributeUserBytes(n int64) { s.userBytes.Add(n) }
+
+// UserBytes returns the cumulative user payload bytes attributed to
+// this device.
+func (s *Store) UserBytes() int64 { return s.userBytes.Load() }
 
 // NewStore creates a store covering the whole device with chunkSize-byte
 // chunks (DefaultChunkSize if 0).
@@ -284,6 +298,7 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		ChunksWritten: s.chunksWritten.Load(),
 		BytesWritten:  s.bytesWritten.Load(),
+		UserBytes:     s.userBytes.Load(),
 		GCRuns:        s.gcRuns.Load(),
 		GCLiveMoved:   s.gcLiveMoved.Load(),
 		GCBytesMoved:  s.gcBytesMoved.Load(),
@@ -536,4 +551,106 @@ func (s *Store) GC(at int64, maxVictims int, relocate func(hsitIdx, oldOff, newO
 		}
 	}
 	return freed, done
+}
+
+// DemoteChunk is the tiering counterpart of GC: it claims the next live
+// chunk at or after cursor (wrapping), reads it, and relocates every
+// still-valid record for which cold returns true into dest — the
+// capacity tier. relocate must atomically swing the record's HSIT
+// pointer from this store's old local offset to dest's new local offset
+// (the caller composes the global offsets) and report success; failed
+// relocations invalidate the fresh copy instead. Hot records stay in
+// place, so a mostly-hot chunk just returns to service with holes where
+// its cold records were. A chunk left empty is recycled.
+//
+// One chunk per call keeps the pass incremental — the maintenance tick
+// paces demotion instead of a burst relocating the whole tier at once.
+// Claiming via the same chunkLive -> chunkVictim CAS as GC makes the two
+// passes mutually exclusive per chunk. Returns the cursor to resume
+// from, the number of records moved, and the virtual completion time.
+func (s *Store) DemoteChunk(at int64, cursor int, dest *Store, reserve int, cold func(hsitIdx uint64) bool, relocate func(hsitIdx, oldLocal, newLocal uint64, valueLen int) bool) (nextCursor, moved int, done int64) {
+	done = at
+	if cursor < 0 || cursor >= s.nchunks {
+		cursor = 0
+	}
+	ci := -1
+	var c *chunkMeta
+	for i := 0; i < s.nchunks; i++ {
+		j := (cursor + i) % s.nchunks
+		cand := &s.chunks[j]
+		if cand.state.Load() != chunkLive || cand.live.Load() == 0 {
+			continue
+		}
+		if cand.state.CompareAndSwap(chunkLive, chunkVictim) {
+			ci, c = j, cand
+			break
+		}
+	}
+	if ci < 0 {
+		return cursor, 0, done
+	}
+	nextCursor = (ci + 1) % s.nchunks
+
+	// Read the chunk and gather its valid, cold records. The claimed
+	// chunk stays readable throughout (bitmap and data untouched until a
+	// record actually moves).
+	fill := int(c.fill.Load())
+	buf := make([]byte, fill)
+	comps := s.Dev.Submit(done, []ssd.Request{{Op: ssd.OpRead, Offset: int64(ci * s.chunkSize), Data: buf}})
+	if comps[0].DoneTime > done {
+		done = comps[0].DoneTime
+	}
+	type coldRec struct {
+		hsitIdx  uint64
+		localOff uint64
+		val      []byte
+	}
+	var recs []coldRec
+	for off := 0; off < fill; {
+		hsitIdx, val, ok := DecodeRecord(buf[off:])
+		if !ok {
+			break
+		}
+		if c.isValid(off) && cold(hsitIdx) {
+			recs = append(recs, coldRec{
+				hsitIdx:  hsitIdx,
+				localOff: uint64(ci*s.chunkSize + off),
+				val:      append([]byte(nil), val...),
+			})
+		}
+		off += RecordSize(len(val))
+	}
+
+	i := 0
+	for i < len(recs) {
+		w, err := dest.NewWriterReserve(reserve)
+		if err != nil {
+			break // capacity tier out of space: keep the rest hot-resident
+		}
+		var batch []coldRec
+		for i < len(recs) && w.Room(len(recs[i].val)) {
+			w.Add(recs[i].hsitIdx, recs[i].val)
+			batch = append(batch, recs[i])
+			i++
+		}
+		cdone, entries := w.Commit(done)
+		if cdone > done {
+			done = cdone
+		}
+		for j, e := range entries {
+			if relocate(e.HSITIdx, batch[j].localOff, e.LocalOff, e.ValueLen) {
+				moved++
+				c.clearValid(int(batch[j].localOff)%s.chunkSize, RecordSize(e.ValueLen))
+			} else {
+				dest.Invalidate(e.LocalOff, e.ValueLen)
+			}
+		}
+	}
+
+	if c.live.Load() == 0 {
+		s.releaseChunk(ci)
+	} else {
+		c.state.Store(chunkLive)
+	}
+	return nextCursor, moved, done
 }

@@ -83,6 +83,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/ssd"
 )
 
 // Options configures a Store; see core.Options for field documentation.
@@ -127,3 +128,8 @@ var (
 // Open creates a Store over fresh simulated NVM and SSD devices —
 // opt.Shards of them when sharding is enabled.
 func Open(opt Options) (*Store, error) { return shard.Open(opt) }
+
+// ParseTierSpec parses the cmd tools' -tiers flag — a comma-separated
+// device list, each "size[:writeMBps[:readMBps]]" with K/M/G suffixes —
+// into per-device SSD configs for Options.SSDConfigs.
+func ParseTierSpec(spec string) ([]ssd.Config, error) { return core.ParseTierSpec(spec) }
