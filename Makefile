@@ -28,6 +28,7 @@ race:
 	$(GO) test -race $$($(GO) list ./... | grep -v internal/bench)
 	$(GO) test -race -count=1 -run 'TestShardBatchFanoutStress$$' ./internal/shard
 	$(GO) test -race -count=1 -run 'TestReplicaFanoutStress$$' ./internal/shard
+	$(GO) test -race -count=1 -run 'TestMigrationMidFlightStress$$' ./internal/shard
 	$(GO) test -race -count=1 -run 'TestAsyncCompletionStress$$' ./internal/core
 	$(GO) test -race -count=1 -run 'TestAdaptiveWatermarkBurstStress$$' ./internal/core
 	$(GO) test -race -count=1 -run 'TestDiagPrismLoad$$' ./internal/bench
@@ -71,6 +72,7 @@ bench-record:
 	$(GO) run ./cmd/prism-bench -run pipelinedepth -records 4000 -metrics-out $(BENCH_OUT)/BENCH_pipelinedepth.json
 	$(GO) run ./cmd/prism-bench -run replication -records 4000 -metrics-out $(BENCH_OUT)/BENCH_replication.json
 	$(GO) run ./cmd/prism-bench -run tiering -records 4000 -metrics-out $(BENCH_OUT)/BENCH_tiering.json
+	$(GO) run ./cmd/prism-bench -run rangescan -threads 4 -records 4000 -ops 4000 -value 256 -metrics-out $(BENCH_OUT)/BENCH_rangescan.json
 
 # bench-check regenerates the trajectories into a scratch directory and
 # fails if any capture's virtual-time throughput regressed more than 25%
@@ -83,17 +85,23 @@ bench-check:
 	$(GO) run ./cmd/prism-bench -compare BENCH_pipelinedepth.json,.bench-new/BENCH_pipelinedepth.json
 	$(GO) run ./cmd/prism-bench -compare BENCH_replication.json,.bench-new/BENCH_replication.json
 	$(GO) run ./cmd/prism-bench -compare BENCH_tiering.json,.bench-new/BENCH_tiering.json
+	$(GO) run ./cmd/prism-bench -compare BENCH_rangescan.json,.bench-new/BENCH_rangescan.json
 
-# fuzz-smoke runs a short fuzz pass over the RESP parser.
+# fuzz-smoke runs short fuzz passes over the RESP parser and the range
+# placement boundary table (decode/encode roundtrip + split-key
+# selection invariants).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzBoundaryTable -fuzztime 10s ./internal/shard
 
-# fault-smoke is the replica-kill gate: crash a replica mid write-burst,
-# assert reads keep being served and no acked write is lost, then assert
-# anti-entropy repair converges to digest equality within a bounded
-# number of passes (see internal/shard/fault_test.go).
+# fault-smoke is the crash-fault gate: the replica-kill matrix (crash a
+# replica mid write-burst, assert reads keep being served and no acked
+# write is lost, then assert anti-entropy repair converges — see
+# internal/shard/fault_test.go) plus the migration crash matrix (kill
+# the source shard at every protocol stage and assert abort-or-complete
+# with no acked write lost — see internal/shard/migrate_fault_test.go).
 fault-smoke:
-	$(GO) test -count=1 -run 'TestFaultMatrix$$' ./internal/shard
+	$(GO) test -count=1 -run 'TestFaultMatrix$$|TestMigrationFaultMatrix$$|TestMigrationDestMemberCrash$$' ./internal/shard
 
 # ci-check asserts the Makefile ci target and .github/workflows/ci.yml
 # stay in lockstep: every make target the workflow runs must be a

@@ -24,6 +24,11 @@
 //	-pipeline N  submit ops through the async pipeline, draining every N
 //	             submissions (default 1 = synchronous; see the
 //	             pipelinedepth experiment for a sweep)
+//	-placement M key placement across shards: hash (default) or range
+//	             (contiguous key ranges per shard; see the rangescan
+//	             experiment for the locality comparison)
+//	-split KEYS  comma-separated range boundary keys for -placement range
+//	             (empty = one all-covering range, split online)
 //	-tiers SPEC  heterogeneous SSD array with hot/cold tiering: a comma-
 //	             separated device list, each size[:writeMBps[:readMBps]]
 //	             with K/M/G suffixes, e.g. 64M:5000,512M:1000 (Prism
@@ -81,6 +86,8 @@ func main() {
 		every   = flag.Int64("metrics-every", 0, "also sample metrics every N virtual ms (implies -metrics)")
 		mout    = flag.String("metrics-out", "", "write the metrics document to this file instead of stdout (implies -metrics)")
 		pipe    = flag.Int("pipeline", 1, "submit ops through the async pipeline, draining every N submissions")
+		place   = flag.String("placement", "hash", "key placement across shards: hash or range")
+		split   = flag.String("split", "", "comma-separated range boundary keys for -placement range")
 		tiers   = flag.String("tiers", "", "heterogeneous SSD array with hot/cold tiering: size[:writeMBps[:readMBps]],... (Prism only)")
 		compare = flag.String("compare", "", "OLD,NEW: compare two trajectory JSON files, exit 1 on regression")
 		cthresh = flag.Float64("compare-threshold", 0.25, "allowed fractional throughput drop for -compare")
@@ -88,6 +95,14 @@ func main() {
 	flag.Parse()
 	if _, err := prism.ParseTierSpec(*tiers); err != nil {
 		fmt.Fprintf(os.Stderr, "-tiers: %v\n", err)
+		os.Exit(1)
+	}
+	if *place != "hash" && *place != "range" {
+		fmt.Fprintf(os.Stderr, "unknown -placement %q (hash or range)\n", *place)
+		os.Exit(1)
+	}
+	if *split != "" && *place != "range" {
+		fmt.Fprintln(os.Stderr, "-split requires -placement range")
 		os.Exit(1)
 	}
 	if *mformat != "json" && *mformat != "prom" {
@@ -149,6 +164,8 @@ func main() {
 		Shards:    *shards,
 		Replicas:  *reps,
 		TierSpec:  *tiers,
+		Placement: *place,
+		SplitKeys: prism.ParseSplitKeys(*split),
 	}
 	var mc *bench.MetricsCollector
 	if *metrics || *every > 0 || *mout != "" {

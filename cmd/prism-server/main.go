@@ -21,6 +21,10 @@
 //	              (default 1; every shard gets the full sizing above)
 //	-replicas N   place each key on N shards of the ring for failover
 //	              (default 1 = unreplicated; requires -shards >= N)
+//	-placement M  key placement across shards: hash (default) or range
+//	              (contiguous key ranges per shard, resharded online)
+//	-split KEYS   comma-separated range boundary keys for -placement range
+//	              (empty = one all-covering range, split online)
 //	-tiers SPEC   heterogeneous SSD array with hot/cold tiering: comma-
 //	              separated size[:writeMBps[:readMBps]] devices with
 //	              K/M/G suffixes (replaces -ssds/-ssd-bytes)
@@ -66,6 +70,8 @@ func main() {
 		keys         = flag.Int("keys", 1<<20, "HSIT capacity (max live keys)")
 		shards       = flag.Int("shards", 1, "independent store shards behind the hash router")
 		replicas     = flag.Int("replicas", 1, "place each key on this many shards of the router ring")
+		placement    = flag.String("placement", "hash", "key placement across shards: hash or range")
+		split        = flag.String("split", "", "comma-separated range boundary keys for -placement range")
 		maxConns     = flag.Int("max-conns", 256, "max concurrent client connections")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget")
@@ -84,6 +90,14 @@ func main() {
 	}
 	if len(tierCfgs) > 0 && (*wmbps > 0 || *rmbps > 0) {
 		fmt.Fprintln(os.Stderr, "-tiers already sets per-device speeds; drop -ssd-write-mbps/-ssd-read-mbps")
+		os.Exit(1)
+	}
+	if *placement != "hash" && *placement != "range" {
+		fmt.Fprintln(os.Stderr, "unknown -placement (hash or range)")
+		os.Exit(1)
+	}
+	if *split != "" && *placement != "range" {
+		fmt.Fprintln(os.Stderr, "-split requires -placement range")
 		os.Exit(1)
 	}
 	if len(tierCfgs) == 0 && (*wmbps > 0 || *rmbps > 0) {
@@ -106,6 +120,8 @@ func main() {
 		SVCBytes:          *svcBytes,
 		Shards:            *shards,
 		Replicas:          *replicas,
+		Placement:         *placement,
+		SplitKeys:         prism.ParseSplitKeys(*split),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)

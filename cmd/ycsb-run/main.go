@@ -14,6 +14,9 @@
 // (baselines ignore it).
 // -replicas N places each key on N shards of the router ring with
 // last-writer-wins replication (Prism only; requires -shards >= N).
+// -placement range routes keys by contiguous key ranges instead of the
+// hash ring (Prism only); -split gives the comma-separated boundary
+// keys (empty = one all-covering range, split online).
 // -pipeline N submits ops through the engine's async pipeline, draining
 // every N submissions (engines without one fall back to sync calls).
 // -tiers SPEC runs Prism on a heterogeneous SSD array with hot/cold
@@ -53,6 +56,8 @@ func main() {
 		pipeline   = flag.Int("pipeline", 1, "submit ops through the async pipeline, draining every N submissions (Prism only)")
 		shards     = flag.Int("shards", 1, "run Prism as this many independent stores behind the hash router")
 		replicas   = flag.Int("replicas", 1, "place each key on this many shards of the router ring (Prism only)")
+		placement  = flag.String("placement", "hash", "key placement across shards: hash or range (Prism only)")
+		split      = flag.String("split", "", "comma-separated range boundary keys for -placement range")
 		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot (see METRICS.md)")
 		mformat    = flag.String("metrics-format", "json", "metrics output format: json or prom")
 		tiers      = flag.String("tiers", "", "heterogeneous SSD array with hot/cold tiering: size[:writeMBps[:readMBps]],... (Prism only)")
@@ -70,6 +75,14 @@ func main() {
 	}
 	if *tiers != "" && (*wmbps > 0 || *rmbps > 0) {
 		fmt.Fprintln(os.Stderr, "-tiers already sets per-device speeds; drop -ssd-write-mbps/-ssd-read-mbps")
+		os.Exit(1)
+	}
+	if *placement != "hash" && *placement != "range" {
+		fmt.Fprintln(os.Stderr, "unknown -placement (hash or range)")
+		os.Exit(1)
+	}
+	if *split != "" && *placement != "range" {
+		fmt.Fprintln(os.Stderr, "-split requires -placement range")
 		os.Exit(1)
 	}
 
@@ -104,6 +117,8 @@ func main() {
 		Shards:    *shards,
 		Replicas:  *replicas,
 		TierSpec:  *tiers,
+		Placement: *placement,
+		SplitKeys: prism.ParseSplitKeys(*split),
 		PrismMut:  mut,
 	})
 	if err != nil {

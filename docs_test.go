@@ -19,8 +19,9 @@ var metricsDocRow = regexp.MustCompile("(?m)^\\| `([a-z0-9_.]+)`")
 // union of the default configuration, the DisableCombining ablation
 // (which swaps the tcq.* family for ta.*), a sharded store (the shard.*
 // router family), a replicated store (the shard.replica_* and repair.*
-// families), and a store with a RESP server attached (which contributes
-// the server.* family).
+// families), a range-placed store (the shard.placement_*/range_scans
+// and migrate.* families), and a store with a RESP server attached
+// (which contributes the server.* family).
 func TestMetricsDocsComplete(t *testing.T) {
 	doc, err := os.ReadFile("METRICS.md")
 	if err != nil {
@@ -35,7 +36,8 @@ func TestMetricsDocsComplete(t *testing.T) {
 	}
 
 	exported := map[string]bool{}
-	for _, opt := range []Options{{}, {DisableCombining: true}, {Shards: 2}, {Shards: 3, Replicas: 2}} {
+	for _, opt := range []Options{{}, {DisableCombining: true}, {Shards: 2}, {Shards: 3, Replicas: 2},
+		{Shards: 3, Placement: "range", SplitKeys: [][]byte{[]byte("g"), []byte("q")}}} {
 		st, err := Open(opt)
 		if err != nil {
 			t.Fatal(err)

@@ -44,6 +44,12 @@ type Params struct {
 	// Only Prism replicates (the baselines ignore it).
 	Replicas int
 
+	// Placement selects the router's placement mode ("hash" default, or
+	// "range" for boundary-table routing with SplitKeys as the initial
+	// boundaries). Only Prism shards (the baselines ignore it).
+	Placement string
+	SplitKeys [][]byte
+
 	// TierSpec, when non-empty, replaces the homogeneous SSD array with
 	// the parsed per-device configs (core.ParseTierSpec format) and
 	// enables hot/cold tiering. Only Prism tiers (the baselines ignore
@@ -102,6 +108,8 @@ func PrismOptions(p Params) core.Options {
 		QueueDepth:        p.QueueDepth,
 		Shards:            p.Shards,
 		Replicas:          p.Replicas,
+		Placement:         p.Placement,
+		SplitKeys:         p.SplitKeys,
 	}
 	if p.TierSpec != "" {
 		cfgs, err := core.ParseTierSpec(p.TierSpec)

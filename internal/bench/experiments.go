@@ -38,6 +38,10 @@ func runSuite(kinds []string, workloads []ycsb.Workload, p Params, rc RunConfig)
 		if pk.TierSpec == "" {
 			pk.TierSpec = rc.TierSpec
 		}
+		if pk.Placement == "" {
+			pk.Placement = rc.Placement
+			pk.SplitKeys = rc.SplitKeys
+		}
 		if kind == EngineSLMDB {
 			pk.Threads = 1 // open-source SLM-DB is single-threaded (§7.4)
 		}
@@ -811,6 +815,7 @@ var Experiments = map[string]func(rc RunConfig) []Table{
 	},
 	"replication": func(rc RunConfig) []Table { return []Table{Replication(rc)} },
 	"tiering":     func(rc RunConfig) []Table { return []Table{Tiering(rc)} },
+	"rangescan":   func(rc RunConfig) []Table { return []Table{RangeScan(rc)} },
 }
 
 // ExperimentNames returns the sorted experiment list.

@@ -1,0 +1,162 @@
+package bench
+
+// The rangescan experiment: scan locality under range placement (ISSUE
+// 9). Hash placement spreads every key range across all shards, so a
+// narrow scan must k-way merge all of them — each shard runs a bounded
+// sub-scan and the router over-fetches up to shards x count keys of
+// device work per scan. Range placement routes the same scan to the one
+// shard owning the interval, so concurrent scans from different threads
+// partition cleanly across the shards' independent device sets instead
+// of contending on all of them.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/ycsb"
+)
+
+// rangeScanShards fixes the experiment's shard count: 4 quartiles, one
+// scanning thread pinned per quartile.
+const rangeScanShards = 4
+
+// QuartileSplitKeys returns the rangeScanShards-1 boundary keys that cut
+// the loaded YCSB keyspace (ids 1..records) into equal quartiles.
+func QuartileSplitKeys(records int) [][]byte {
+	var splits [][]byte
+	for q := 1; q < rangeScanShards; q++ {
+		splits = append(splits, ycsb.Key(uint64(1+q*records/rangeScanShards)))
+	}
+	return splits
+}
+
+// RangeScanResult is one placement mode's measurement, shared with the
+// locality gate test.
+type RangeScanResult struct {
+	KOps          float64      // quartile-local scans per virtual second (thousands)
+	ShardScansPer float64      // core scan ops issued per router scan (fan-out)
+	Delta         obs.Snapshot // metric movement across the scan phase
+}
+
+// runRangeScan loads a 4-shard Prism under the given placement mode and
+// drives the concurrent quartile-local scan phase: each thread scans
+// random intervals inside its own quartile only, so under range
+// placement every scan has exactly one owning shard.
+func runRangeScan(rc RunConfig, placement string) RangeScanResult {
+	rc.applyDefaults()
+	p := Params{
+		Threads:   rc.Threads,
+		Records:   rc.Records,
+		ValueSize: rc.ValueSize,
+		Shards:    rangeScanShards,
+		Placement: placement,
+	}
+	if placement == "range" {
+		p.SplitKeys = QuartileSplitKeys(rc.Records)
+	}
+	st, err := NewEngine(EnginePrism, p)
+	if err != nil {
+		panic(err)
+	}
+	ps := st.(*engine.PrismStore)
+	Load(st, EnginePrism, rc)
+
+	pre := ps.Metrics()
+	scansBefore := int64(0)
+	for j := 0; j < rangeScanShards; j++ {
+		scansBefore += ps.S.Shard(j).Stats().Scans
+	}
+
+	const scanLen = 64
+	nt := rc.Threads
+	if nt > st.NumThreads() {
+		nt = st.NumThreads()
+	}
+	scansPerThread := rc.Ops / 8 / nt
+	if scansPerThread == 0 {
+		scansPerThread = 1
+	}
+	var wg sync.WaitGroup
+	virt := make([]int64, nt)
+	for ti := 0; ti < nt; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			kv := st.Thread(ti)
+			clk := kv.Clock()
+			start := clk.Now()
+			// Quartile-local starts, with room for the scan to finish
+			// inside the quartile: [qlo, qhi-scanLen).
+			q := ti % rangeScanShards
+			qlo := 1 + q*rc.Records/rangeScanShards
+			span := rc.Records/rangeScanShards - scanLen
+			if span < 1 {
+				span = 1
+			}
+			seed := rc.Seed + uint64(ti)*7919
+			for i := 0; i < scansPerThread; i++ {
+				// xorshift stream per thread: deterministic, quartile-local.
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				id := qlo + int(seed%uint64(span))
+				if err := kv.Scan(ycsb.Key(uint64(id)), scanLen, func(k, v []byte) bool { return true }); err != nil {
+					panic(fmt.Sprintf("bench: rangescan %s: %v", placement, err))
+				}
+			}
+			virt[ti] = clk.Now() - start
+		}(ti)
+	}
+	wg.Wait()
+
+	var out RangeScanResult
+	var makespan int64
+	for _, v := range virt {
+		if v > makespan {
+			makespan = v
+		}
+	}
+	totalScans := int64(nt) * int64(scansPerThread)
+	if makespan > 0 {
+		out.KOps = float64(totalScans) / (float64(makespan) / 1e9) / 1e3
+	}
+	scansAfter := int64(0)
+	for j := 0; j < rangeScanShards; j++ {
+		scansAfter += ps.S.Shard(j).Stats().Scans
+	}
+	out.ShardScansPer = float64(scansAfter-scansBefore) / float64(totalScans)
+	out.Delta = ps.Metrics().Delta(pre)
+	rc.Metrics.CaptureSnapshot(EnginePrism, "rangescan-"+placement, out.KOps, out.Delta)
+	st.Close()
+	return out
+}
+
+// RangeScan compares hash and range placement on the concurrent
+// quartile-local scan phase — the locality claim behind the placement
+// mode, measured in virtual time on identical 4-shard stores.
+func RangeScan(rc RunConfig) Table {
+	rc.applyDefaults()
+	t := Table{
+		Title:  "Range placement: quartile-local scan throughput, 4 shards (Kops/sec)",
+		Header: []string{"placement", "scan Kops/sec", "shard scans per scan", "speedup"},
+		Notes: []string{
+			"each thread scans 64-key intervals confined to its own keyspace quartile",
+			"hash: every scan k-way merges all 4 shards (over-fetching 4x64 keys of device work)",
+			"range: the boundary table routes each scan to the one shard owning its quartile",
+			"shard scans per scan = core scan ops issued / router scans (fan-out; 1.0 = perfect locality)",
+		},
+	}
+	hash := runRangeScan(rc, "hash")
+	rng := runRangeScan(rc, "range")
+	speedup := "-"
+	if hash.KOps > 0 {
+		speedup = fmt.Sprintf("%.2fx", rng.KOps/hash.KOps)
+	}
+	t.Rows = append(t.Rows,
+		[]string{"hash", f1(hash.KOps), f2(hash.ShardScansPer), "1.00x"},
+		[]string{"range", f1(rng.KOps), f2(rng.ShardScansPer), speedup},
+	)
+	return t
+}

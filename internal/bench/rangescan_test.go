@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/ycsb"
+)
+
+// TestRangeScanLocality is the range-placement acceptance gate (ISSUE
+// 9): on a 4-shard store with quartile split keys, (1) a narrow scan
+// reads exactly its owning shard — pinned both by the aggregate fan-out
+// counter and by the per-shard {shard=N} core.ops{op=scan} metric — and
+// (2) the concurrent quartile-local scan phase beats hash placement's
+// k-way merge by a clear virtual-time margin.
+func TestRangeScanLocality(t *testing.T) {
+	rc := RunConfig{Threads: 4, Records: 4000, Ops: 4000, ValueSize: 256}
+	hash := runRangeScan(rc, "hash")
+	rng := runRangeScan(rc, "range")
+
+	t.Logf("hash:  %.1f Kops/sec, %.2f shard scans per scan", hash.KOps, hash.ShardScansPer)
+	t.Logf("range: %.1f Kops/sec, %.2f shard scans per scan, speedup %.2fx",
+		rng.KOps, rng.ShardScansPer, rng.KOps/hash.KOps)
+
+	if rng.ShardScansPer != 1.0 {
+		t.Errorf("range placement fan-out = %.3f shard scans per scan, want exactly 1.0", rng.ShardScansPer)
+	}
+	if hash.ShardScansPer != float64(rangeScanShards) {
+		t.Errorf("hash placement fan-out = %.3f shard scans per scan, want %d (k-way merge)",
+			hash.ShardScansPer, rangeScanShards)
+	}
+	if hash.KOps <= 0 || rng.KOps < hash.KOps*1.3 {
+		t.Errorf("range scan throughput %.1f Kops vs hash %.1f Kops, want >= 1.3x", rng.KOps, hash.KOps)
+	}
+
+	// Single-scan metric-level check: one narrow scan on a fresh range
+	// store moves core.ops{op=scan} on exactly the owning shard.
+	p := Params{Threads: 1, Records: 1000, ValueSize: 256, Shards: rangeScanShards,
+		Placement: "range", SplitKeys: QuartileSplitKeys(1000)}
+	st, err := NewEngine(EnginePrism, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	Load(st, EnginePrism, RunConfig{Threads: 1, Records: 1000, ValueSize: 256})
+	ps := st.(*engine.PrismStore)
+	pre := ps.Metrics()
+	// Keys 300..310 live in quartile 1 ([251, 501)), owned by shard 1.
+	if err := st.Thread(0).Scan(ycsb.Key(300), 10, func(k, v []byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	delta := ps.Metrics().Delta(pre)
+	for j := 0; j < rangeScanShards; j++ {
+		got := 0.0
+		if m, ok := delta.Get("core.ops", map[string]string{"op": "scan", "shard": strconv.Itoa(j)}); ok {
+			got = m.Value
+		}
+		want := 0.0
+		if j == 1 {
+			want = 1.0
+		}
+		if got != want {
+			t.Errorf("core.ops{op=scan,shard=%d} moved by %.0f, want %.0f", j, got, want)
+		}
+	}
+	if m, ok := delta.Get("shard.range_scans", nil); !ok || m.Value != 1 {
+		t.Errorf("shard.range_scans delta = %v, want 1", m.Value)
+	}
+}

@@ -41,6 +41,13 @@ type RunConfig struct {
 	// Prism replicates (the baselines ignore it).
 	Replicas int
 
+	// Placement selects the Prism router's placement mode ("hash"
+	// default, or "range" for boundary-table routing), with SplitKeys as
+	// the initial range boundaries (see prism.ParseSplitKeys for the CLI
+	// form). Only Prism shards (the baselines ignore it).
+	Placement string
+	SplitKeys [][]byte
+
 	// TierSpec configures a heterogeneous SSD array with hot/cold
 	// tiering (core.ParseTierSpec format). Only Prism tiers (the
 	// baselines ignore it).

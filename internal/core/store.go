@@ -123,6 +123,23 @@ type Options struct {
 	// store has nothing to replicate onto.
 	Replicas int
 
+	// Placement selects the router's key-placement policy and is
+	// consumed, like Shards, by the sharding router: "" or "hash" (the
+	// default) routes every key by FNV-1a + jump consistent hash;
+	// "range" routes through a boundary table of split keys so scans
+	// touch only owning shards and key ranges can migrate online
+	// between shards (see internal/shard/migrate.go). core.Open rejects
+	// "range" loudly — a single core store has nothing to place.
+	Placement string
+
+	// SplitKeys seeds the range-placement boundary table: split points
+	// dividing the keyspace into len(SplitKeys)+1 ranges assigned
+	// round-robin to shards. Ignored unless Placement is "range". An
+	// empty list starts with a single hash-owned range covering the
+	// whole keyspace (routing is then hash-identical) which
+	// RebalanceRanges converts online once keys exist to sample.
+	SplitKeys [][]byte
+
 	// TrackTimestamps keeps a per-key logical-timestamp map (newest
 	// write or tombstone stamp) alongside the Persistent Key Index and
 	// enables the TS operation variants (PutTS/DeleteTS/PutBatchTS and
@@ -210,6 +227,14 @@ type Store struct {
 	em      *epoch.Manager
 
 	threads []*Thread
+
+	// mnt is a dedicated maintenance thread (own clock + epoch
+	// participant, no PWB, no RNG) used by the router's range-migration
+	// purge (DropRange) so physical deletes never borrow a router-owned
+	// thread handle; mntMu serializes its users. It must never append —
+	// a nil buf fails loudly if a write path is ever misrouted here.
+	mnt   *Thread
+	mntMu sync.Mutex
 
 	reclaimChs []chan int64 // per-PWB reclamation triggers (value = trigger time)
 	gcCh       chan gcReq
@@ -313,6 +338,13 @@ func Open(opt Options) (*Store, error) {
 	}
 	if opt.Replicas > 1 {
 		return nil, errors.New("prism: Replicas > 1 requires the sharding router (use prism.Open, not core.Open)")
+	}
+	switch opt.Placement {
+	case "", "hash":
+	case "range":
+		return nil, errors.New("prism: Placement \"range\" requires the sharding router (use prism.Open, not core.Open)")
+	default:
+		return nil, fmt.Errorf("prism: unknown Placement %q (want \"hash\" or \"range\")", opt.Placement)
 	}
 	if opt.NumSSDs > 64 {
 		return nil, errors.New("prism: at most 64 SSDs (global offset encoding)")
@@ -427,6 +459,10 @@ func Open(opt Options) (*Store, error) {
 		a.cond = sync.NewCond(&a.mu)
 		t.async = a
 	}
+	// The maintenance thread registers after all public + shadow
+	// participants and takes no RNG split, so existing seeds keep their
+	// streams bit-identical.
+	s.mnt = &Thread{s: s, id: 0, Clk: sim.NewClock(0), part: s.em.Register()}
 	if !opt.DisableMetrics {
 		s.reg = obs.NewRegistry()
 		s.registerMetrics()

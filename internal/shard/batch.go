@@ -24,6 +24,14 @@ func (t *Thread) PutBatch(kvs []core.KV) error {
 		return nil
 	}
 	s.m.batchPut.Inc()
+	if s.rangeMode {
+		p := s.placeWriteBatch(kvs)
+		defer s.migMu.RUnlock()
+		if s.replicas > 1 {
+			return t.putBatchReplicated(kvs)
+		}
+		return t.putBatchRange(p, kvs)
+	}
 	if s.replicas > 1 {
 		return t.putBatchReplicated(kvs)
 	}
@@ -73,6 +81,55 @@ func (t *Thread) PutBatch(kvs []core.KV) error {
 	return err
 }
 
+// putBatchRange is the unreplicated range-mode PutBatch: partitioning
+// routes through the placement snapshot (held stable by the caller's
+// migMu.RLock), and every entry carries a stamp — one block drawn for
+// the whole batch — so migration can enumerate the writes. Duplicate
+// keys land on the same shard in input order with increasing stamps, so
+// the later entry still wins.
+func (t *Thread) putBatchRange(p *placement, kvs []core.KV) error {
+	s := t.s
+	base := s.stamp.Add(uint64(len(kvs))) - uint64(len(kvs))
+	t.touched = t.touched[:0]
+	for i := range kvs {
+		j := p.shardFor(s, kvs[i].Key)
+		if len(t.subPut[j]) == 0 {
+			t.touched = append(t.touched, j)
+		}
+		t.subPut[j] = append(t.subPut[j], kvs[i])
+		t.subTS[j] = append(t.subTS[j], base+1+uint64(i))
+	}
+	s.m.fanout.Record(int64(len(t.touched)))
+	var err error
+	if len(t.touched) == 1 {
+		j := t.touched[0]
+		err = t.ths[j].PutBatchTS(t.subPut[j], t.subTS[j])
+		t.sync(j)
+	} else {
+		s.m.crossPut.Inc()
+		var wg sync.WaitGroup
+		for _, j := range t.touched {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				t.errs[j] = t.ths[j].PutBatchTS(t.subPut[j], t.subTS[j])
+			}(j)
+		}
+		wg.Wait()
+		for _, j := range t.touched {
+			err = errors.Join(err, t.errs[j])
+			t.errs[j] = nil
+			t.sync(j)
+		}
+	}
+	for _, j := range t.touched {
+		clear(t.subPut[j]) // release caller references
+		t.subPut[j] = t.subPut[j][:0]
+		t.subTS[j] = t.subTS[j][:0]
+	}
+	return err
+}
+
 // MultiGet resolves keys across shards and returns one value per key in
 // input order, nil marking a missing key (see core.MultiGet).
 func (t *Thread) MultiGet(keys [][]byte) ([][]byte, error) {
@@ -87,6 +144,13 @@ func (t *Thread) MultiGet(keys [][]byte) ([][]byte, error) {
 // order always matches the key order given, regardless of fan-out.
 func (t *Thread) MultiGetInto(keys [][]byte, vals [][]byte) ([][]byte, error) {
 	s := t.s
+	if s.rangeMode {
+		// Reads need only a stable placement snapshot (ShardOf loads it);
+		// no dual-window fallback here — the destination set is complete
+		// from the flip onward, so owner answers are authoritative.
+		s.migMu.RLock()
+		defer s.migMu.RUnlock()
+	}
 	if s.replicas > 1 {
 		return t.multiGetReplicated(keys, vals)
 	}

@@ -16,6 +16,18 @@ type routerMetrics struct {
 	scanMerges               *obs.Counter
 	fanout                   *obs.Histogram
 
+	// Range placement + migration (registered only when Placement is
+	// "range", so hash-mode exports stay exactly what they were).
+	rangeScans       *obs.Counter
+	migSplits        *obs.Counter
+	migRanges        *obs.Counter
+	migKeysStreamed  *obs.Counter
+	migTombsStreamed *obs.Counter
+	migAborts        *obs.Counter
+	migPurged        *obs.Counter
+	migFrozenWaits   *obs.Counter
+	migDualReads     *obs.Counter
+
 	// Replication (registered only when Replicas > 1, so the
 	// single-replica export stays exactly what it was).
 	replicaPut, replicaDelete *obs.Counter
@@ -51,6 +63,9 @@ func (s *Store) registerMetrics() {
 			Labels: map[string]string{"shard": strconv.Itoa(i)}},
 			func() float64 { return float64(cs.Len()) })
 	}
+	if s.rangeMode {
+		s.registerPlacementMetrics()
+	}
 	if s.replicas > 1 {
 		s.registerReplicaMetrics()
 	}
@@ -70,6 +85,25 @@ func (s *Store) registerMetrics() {
 			mean := float64(total) / float64(len(s.shards))
 			return float64(max) / mean
 		})
+}
+
+// registerPlacementMetrics registers the range-placement and migration
+// families; only range-mode stores export them.
+func (s *Store) registerPlacementMetrics() {
+	r := s.reg
+	r.GaugeFunc(obs.Desc{Name: "shard.placement_epoch", Help: "current placement epoch (bumped by every split and migration flip)", Unit: "epoch"},
+		func() float64 { return float64(s.PlacementEpoch()) })
+	r.GaugeFunc(obs.Desc{Name: "shard.placement_ranges", Help: "ranges in the placement boundary table", Unit: "ranges"},
+		func() float64 { return float64(s.Ranges()) })
+	s.m.rangeScans = r.Counter(obs.Desc{Name: "shard.range_scans", Help: "scans routed through the boundary table (owner-only reads)", Unit: "ops"})
+	s.m.migSplits = r.Counter(obs.Desc{Name: "migrate.splits", Help: "placement boundaries inserted by SplitRange", Unit: "ops"})
+	s.m.migRanges = r.Counter(obs.Desc{Name: "migrate.ranges", Help: "range migrations completed (epoch flipped and settled)", Unit: "ops"})
+	s.m.migKeysStreamed = r.Counter(obs.Desc{Name: "migrate.keys_streamed", Help: "live values streamed to migration destinations", Unit: "keys"})
+	s.m.migTombsStreamed = r.Counter(obs.Desc{Name: "migrate.tombstones_streamed", Help: "tombstones streamed to migration destinations", Unit: "keys"})
+	s.m.migAborts = r.Counter(obs.Desc{Name: "migrate.aborts", Help: "migrations aborted before the epoch flip (placement restored)", Unit: "ops"})
+	s.m.migPurged = r.Counter(obs.Desc{Name: "migrate.purged_keys", Help: "source copies physically dropped after a migration settled", Unit: "keys"})
+	s.m.migFrozenWaits = r.Counter(obs.Desc{Name: "migrate.frozen_waits", Help: "writes parked on a frozen migration window until its flip", Unit: "ops"})
+	s.m.migDualReads = r.Counter(obs.Desc{Name: "migrate.dual_reads", Help: "reads answered from the source set during a dual-read window", Unit: "ops"})
 }
 
 // registerReplicaMetrics registers the replication and anti-entropy

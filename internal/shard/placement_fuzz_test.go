@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBoundaryTable drives the boundary-table decoder with arbitrary
+// bytes and split-key selection with arbitrary key sets (the placement
+// analogue of the RESP FuzzParse). Invariants: no panic; anything that
+// decodes is structurally valid (bounded range count, strictly
+// increasing non-empty bounds, owners in range) and round-trips through
+// Encode bit-for-bit semantics; SelectSplitKeys always returns a
+// strictly increasing subset of its input that newBoundaryTable accepts
+// and that itself round-trips.
+func FuzzBoundaryTable(f *testing.F) {
+	// Encodings of representative tables.
+	for _, splits := range [][]string{
+		{},
+		{"m"},
+		{"b", "c", "x"},
+		{"user00000050", "user00000100", "user00000150"},
+	} {
+		bs := make([][]byte, len(splits))
+		for i, sp := range splits {
+			bs[i] = []byte(sp)
+		}
+		bt, err := newBoundaryTable(bs, 8)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bt.Encode())
+	}
+	// Hostile framings.
+	f.Add([]byte("PBT1"))
+	f.Add([]byte("PBT0\x01\x01"))
+	f.Add([]byte("PBT1\x00"))
+	f.Add([]byte("PBT1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte("PBT1\x02\x01\x02\x05abc"))
+	f.Add(bytes.Repeat([]byte{0x80}, 64))
+
+	const shards = 8
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if bt, err := decodeBoundaryTable(data, shards); err == nil {
+			if bt.ranges() < 1 || bt.ranges() > maxRanges {
+				t.Fatalf("decoded range count %d out of bounds", bt.ranges())
+			}
+			if len(bt.bounds) != bt.ranges()-1 {
+				t.Fatalf("%d bounds for %d ranges", len(bt.bounds), bt.ranges())
+			}
+			for i, b := range bt.bounds {
+				if len(b) == 0 {
+					t.Fatal("decoded empty bound")
+				}
+				if i > 0 && bytes.Compare(bt.bounds[i-1], b) >= 0 {
+					t.Fatalf("bounds not strictly increasing at %d", i)
+				}
+				// A bound key belongs to its right-hand range (lower bounds
+				// are inclusive).
+				if r := bt.rangeOf(b); r != i+1 {
+					t.Fatalf("rangeOf(bounds[%d]) = %d, want %d", i, r, i+1)
+				}
+			}
+			for i, o := range bt.owner {
+				if o < hashOwned || o >= shards {
+					t.Fatalf("owner[%d] = %d out of range", i, o)
+				}
+			}
+			rt, err := decodeBoundaryTable(bt.Encode(), shards)
+			if err != nil {
+				t.Fatalf("re-decode of Encode failed: %v", err)
+			}
+			if len(rt.owner) != len(bt.owner) || len(rt.bounds) != len(bt.bounds) {
+				t.Fatalf("roundtrip shape mismatch: %d/%d ranges, %d/%d bounds",
+					len(rt.owner), len(bt.owner), len(rt.bounds), len(bt.bounds))
+			}
+			for i := range bt.owner {
+				if rt.owner[i] != bt.owner[i] {
+					t.Fatalf("roundtrip owner[%d] = %d, want %d", i, rt.owner[i], bt.owner[i])
+				}
+			}
+			for i := range bt.bounds {
+				if !bytes.Equal(rt.bounds[i], bt.bounds[i]) {
+					t.Fatalf("roundtrip bounds[%d] = %q, want %q", i, rt.bounds[i], bt.bounds[i])
+				}
+			}
+		}
+
+		// Split-key selection over keys chunked out of the input.
+		chunk := 1
+		if len(data) > 0 {
+			chunk = 1 + int(data[0]%7)
+		}
+		var keys [][]byte
+		for i := 0; i+chunk <= len(data) && len(keys) < 256; i += chunk {
+			keys = append(keys, data[i:i+chunk])
+		}
+		n := 2 + len(data)%7
+		splits := SelectSplitKeys(keys, n)
+		if len(splits) > n-1 {
+			t.Fatalf("%d splits for n=%d", len(splits), n)
+		}
+		for i, sp := range splits {
+			if len(sp) == 0 {
+				t.Fatal("empty split key selected")
+			}
+			if i > 0 && bytes.Compare(splits[i-1], sp) >= 0 {
+				t.Fatalf("splits not strictly increasing at %d", i)
+			}
+			member := false
+			for _, k := range keys {
+				if bytes.Equal(k, sp) {
+					member = true
+					break
+				}
+			}
+			if !member {
+				t.Fatalf("split %q is not one of the input keys", sp)
+			}
+		}
+		bt, err := newBoundaryTable(splits, shards)
+		if err != nil {
+			t.Fatalf("newBoundaryTable rejected selected splits: %v", err)
+		}
+		if bt.ranges() != len(splits)+1 {
+			t.Fatalf("table has %d ranges for %d splits", bt.ranges(), len(splits))
+		}
+		if _, err := decodeBoundaryTable(bt.Encode(), shards); err != nil {
+			t.Fatalf("selected-split table does not round-trip: %v", err)
+		}
+	})
+}

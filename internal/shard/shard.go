@@ -79,6 +79,20 @@ type Store struct {
 	shards  []*core.Store
 	threads []*Thread
 
+	// Range placement state (hash mode leaves all of it idle and
+	// lock-free; see placement.go / migrate.go). rangeMode is fixed at
+	// Open; pl is non-nil exactly when rangeMode, so ops never race a
+	// nil→non-nil transition. Range-mode ops hold migMu.RLock for their
+	// duration; placement transitions install a fresh immutable
+	// *placement under migMu.Lock. migOne serializes placement
+	// operations (splits, migrations, rebalances); migHook is the
+	// test-only crash point inside MigrateRange.
+	rangeMode bool
+	pl        atomic.Pointer[placement]
+	migMu     sync.RWMutex
+	migOne    sync.Mutex
+	migHook   func(stage string)
+
 	// Replication state (replicas == 1 leaves all of it idle; see
 	// replica.go / repair.go).
 	replicas   int
@@ -142,12 +156,25 @@ func Open(opt core.Options) (*Store, error) {
 	if r > n {
 		return nil, errors.New("prism: Replicas cannot exceed Shards (each replica lives on a distinct shard)")
 	}
-	s := &Store{opt: opt, replicas: r}
+	rangeMode := false
+	switch opt.Placement {
+	case "", "hash":
+	case "range":
+		rangeMode = true
+	default:
+		return nil, errors.New("prism: unknown Placement (want \"hash\" or \"range\")")
+	}
+	s := &Store{opt: opt, replicas: r, rangeMode: rangeMode}
 	for i := 0; i < n; i++ {
 		sopt := opt
 		sopt.Shards = 0
 		sopt.Replicas = 0
-		sopt.TrackTimestamps = opt.TrackTimestamps || r > 1
+		sopt.Placement = ""
+		sopt.SplitKeys = nil
+		// Range mode stamps every write (migration enumerates the stamp
+		// records to stream a range), so it forces the timestamp layer on
+		// just like replication does.
+		sopt.TrackTimestamps = opt.TrackTimestamps || r > 1 || rangeMode
 		if sopt.Seed == 0 {
 			sopt.Seed = 1 // mirror core's default before deriving
 		}
@@ -179,6 +206,16 @@ func Open(opt core.Options) (*Store, error) {
 		s.threads = append(s.threads, th)
 	}
 	s.state = make([]atomic.Int32, n)
+	if rangeMode {
+		bt, err := newBoundaryTable(opt.SplitKeys, n)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.pl.Store(&placement{epoch: 1, tab: bt})
+	}
 	if r > 1 {
 		// The per-position read counters are indexed unconditionally on
 		// the replicated read path, so the slice must exist even when
@@ -222,9 +259,14 @@ func jump(key uint64, n int) int {
 	return int(b)
 }
 
-// ShardOf returns the shard index owning key — a pure, stable function
-// of the key bytes and the shard count.
+// ShardOf returns the shard index owning key. In hash mode it is a
+// pure, stable function of the key bytes and the shard count; in range
+// mode it consults the current placement snapshot (boundary-table
+// lookup, jump hash for hash-owned ranges).
 func (s *Store) ShardOf(key []byte) int {
+	if p := s.pl.Load(); p != nil {
+		return p.shardFor(s, key)
+	}
 	if len(s.shards) == 1 {
 		return 0
 	}
@@ -382,13 +424,27 @@ func (t *Thread) sync(j int) {
 
 // Put routes a single-key write to the owning shard's pinned thread —
 // or, with Replicas > 1, fans it out to every live replica under one
-// logical timestamp (see replica.go).
+// logical timestamp (see replica.go). In range mode the write runs
+// under the placement guard (a frozen migration window parks it until
+// the flip) and always carries a stamp so migration can enumerate it.
 func (t *Thread) Put(key, value []byte) error {
-	t.s.m.routedPut.Inc()
-	if t.s.replicas > 1 {
+	s := t.s
+	s.m.routedPut.Inc()
+	if s.rangeMode {
+		p := s.placeWrite(key)
+		defer s.migMu.RUnlock()
+		if s.replicas > 1 {
+			return t.putReplicated(key, value)
+		}
+		j := p.shardFor(s, key)
+		err := t.ths[j].PutTS(key, value, s.nextStamp())
+		t.sync(j)
+		return err
+	}
+	if s.replicas > 1 {
 		return t.putReplicated(key, value)
 	}
-	j := t.s.ShardOf(key)
+	j := s.ShardOf(key)
 	err := t.ths[j].Put(key, value)
 	t.sync(j)
 	return err
@@ -396,13 +452,36 @@ func (t *Thread) Put(key, value []byte) error {
 
 // Get routes a single-key read to the owning shard's pinned thread —
 // or, with Replicas > 1, primary-first across the replica set with
-// fallback on miss or crash.
+// fallback on miss or crash. Range-mode reads hold the placement guard
+// and, during a migration's dual-read window, may fall back to the
+// not-yet-purged source set (see dualGet).
 func (t *Thread) Get(key []byte) ([]byte, error) {
-	t.s.m.routedGet.Inc()
-	if t.s.replicas > 1 {
+	s := t.s
+	s.m.routedGet.Inc()
+	if s.rangeMode {
+		s.migMu.RLock()
+		defer s.migMu.RUnlock()
+		p := s.pl.Load()
+		var v []byte
+		var err error
+		if s.replicas > 1 {
+			v, err = t.getReplicated(key)
+		} else {
+			j := p.shardFor(s, key)
+			v, err = t.ths[j].Get(key)
+			t.sync(j)
+		}
+		if err != nil && p.mig != nil && p.mig.dual && p.mig.contains(key) {
+			if fv, ferr, ok := t.dualGet(p, key); ok {
+				return fv, ferr
+			}
+		}
+		return v, err
+	}
+	if s.replicas > 1 {
 		return t.getReplicated(key)
 	}
-	j := t.s.ShardOf(key)
+	j := s.ShardOf(key)
 	v, err := t.ths[j].Get(key)
 	t.sync(j)
 	return v, err
@@ -410,13 +489,29 @@ func (t *Thread) Get(key []byte) ([]byte, error) {
 
 // Delete routes a single-key delete to the owning shard's pinned thread
 // — or, with Replicas > 1, records a timestamped tombstone on every
-// live replica.
+// live replica. Range-mode deletes run under the placement guard and
+// carry a stamp (the tombstone record is what migration streams).
 func (t *Thread) Delete(key []byte) error {
-	t.s.m.routedDelete.Inc()
-	if t.s.replicas > 1 {
+	s := t.s
+	s.m.routedDelete.Inc()
+	if s.rangeMode {
+		p := s.placeWrite(key)
+		defer s.migMu.RUnlock()
+		if s.replicas > 1 {
+			return t.deleteReplicated(key)
+		}
+		j := p.shardFor(s, key)
+		found, err := t.ths[j].DeleteTS(key, s.nextStamp())
+		t.sync(j)
+		if err == nil && !found {
+			return core.ErrNotFound
+		}
+		return err
+	}
+	if s.replicas > 1 {
 		return t.deleteReplicated(key)
 	}
-	j := t.s.ShardOf(key)
+	j := s.ShardOf(key)
 	err := t.ths[j].Delete(key)
 	t.sync(j)
 	return err
@@ -432,31 +527,95 @@ func (t *Thread) Delete(key []byte) error {
 // async work runs on each shard's own async timeline; Flush folds the
 // makespan in.
 func (t *Thread) PutAsync(key, value []byte) *core.Handle {
-	t.s.m.routedPut.Inc()
-	if t.s.replicas > 1 {
+	s := t.s
+	s.m.routedPut.Inc()
+	if s.rangeMode {
+		p := s.placeWrite(key)
+		defer s.migMu.RUnlock()
+		if s.replicas > 1 {
+			return t.putAsyncReplicated(key, value)
+		}
+		return t.ths[p.shardFor(s, key)].PutTSAsync(key, value, s.nextStamp())
+	}
+	if s.replicas > 1 {
 		return t.putAsyncReplicated(key, value)
 	}
-	return t.ths[t.s.ShardOf(key)].PutAsync(key, value)
+	return t.ths[s.ShardOf(key)].PutAsync(key, value)
 }
 
 // GetAsync routes an asynchronous read to the owning shard's admission
-// loop. See PutAsync for the concurrency and ordering contract.
+// loop. See PutAsync for the concurrency and ordering contract. During
+// a migration's dual-read window the completion chains a source-set
+// fallback exactly like the synchronous path (see dualGet).
 func (t *Thread) GetAsync(key []byte) *core.Handle {
-	t.s.m.routedGet.Inc()
-	if t.s.replicas > 1 {
+	s := t.s
+	s.m.routedGet.Inc()
+	if s.rangeMode {
+		s.migMu.RLock()
+		defer s.migMu.RUnlock()
+		p := s.pl.Load()
+		var inner *core.Handle
+		if s.replicas > 1 {
+			inner = t.getAsyncReplicated(key)
+		} else {
+			inner = t.ths[p.shardFor(s, key)].GetAsync(key)
+		}
+		m := p.mig
+		if m == nil || !m.dual || !m.contains(key) {
+			return inner
+		}
+		// The completion callback runs on an executor goroutine, so the
+		// fallback must use store-level async submission, never this
+		// router thread's scratch or sync handles.
+		ph, resolve := core.NewProxyHandle()
+		kc := append([]byte(nil), key...)
+		inner.OnDone(func(h *core.Handle) {
+			v, err := h.Value()
+			at := h.CompletedAt()
+			if err == nil || s.dualRecorded(m, kc) {
+				resolve(v, err, at)
+				return
+			}
+			si := s.dualSrcShard(m, kc)
+			if si < 0 {
+				resolve(v, err, at)
+				return
+			}
+			s.m.migDualReads.Inc()
+			s.shards[si].Thread(0).GetAsync(kc).OnDone(func(h2 *core.Handle) {
+				v2, err2 := h2.Value()
+				at2 := h2.CompletedAt()
+				if at2 < at {
+					at2 = at
+				}
+				resolve(v2, err2, at2)
+			})
+		})
+		return ph
+	}
+	if s.replicas > 1 {
 		return t.getAsyncReplicated(key)
 	}
-	return t.ths[t.s.ShardOf(key)].GetAsync(key)
+	return t.ths[s.ShardOf(key)].GetAsync(key)
 }
 
 // DeleteAsync routes an asynchronous delete to the owning shard's
 // admission loop. See PutAsync for the concurrency contract.
 func (t *Thread) DeleteAsync(key []byte) *core.Handle {
-	t.s.m.routedDelete.Inc()
-	if t.s.replicas > 1 {
+	s := t.s
+	s.m.routedDelete.Inc()
+	if s.rangeMode {
+		p := s.placeWrite(key)
+		defer s.migMu.RUnlock()
+		if s.replicas > 1 {
+			return t.deleteAsyncReplicated(key)
+		}
+		return t.ths[p.shardFor(s, key)].DeleteTSAsync(key, s.nextStamp())
+	}
+	if s.replicas > 1 {
 		return t.deleteAsyncReplicated(key)
 	}
-	return t.ths[t.s.ShardOf(key)].DeleteAsync(key)
+	return t.ths[s.ShardOf(key)].DeleteAsync(key)
 }
 
 // Flush blocks until every async submission on this handle's per-shard

@@ -77,6 +77,28 @@
 // passes re-converge it (Store.Repair runs a pass by hand), with delete
 // tombstones propagated and discarded after a grace window. Replicas
 // set to 0 or 1 is bit-for-bit the unreplicated router.
+//
+// # Placement
+//
+// Options.Placement selects how the router places keys. The default,
+// "hash", is the jump-hash placement above. "range" (requires Shards >
+// 1) routes through a boundary table instead: Options.SplitKeys cuts
+// the keyspace into contiguous ranges, each owned by one shard (its
+// whole replica set when replicated), so a Scan touches only the shards
+// whose ranges intersect it — no k-way merge across non-owners. With no
+// split keys the single all-covering range routes by hash until
+// boundaries are learned online (Store.RebalanceRanges samples live
+// keys, installs equal-population splits, and migrates each range to
+// its owner).
+//
+// Range placement is resharded online: Store.SplitRange inserts a
+// boundary (routing-only, no data moves), and Store.MigrateRange moves
+// a range — with its whole replica set — to a new shard while serving
+// traffic: catch-up stream, brief write freeze, delta stream, then an
+// epoch-bumped table flip with a short dual-read window before the
+// source copies are purged. An acked write is never lost across a
+// migration, and crashes before the flip abort with placement
+// unchanged. See DESIGN.md §4.8.
 package prism
 
 import (
@@ -133,3 +155,20 @@ func Open(opt Options) (*Store, error) { return shard.Open(opt) }
 // device list, each "size[:writeMBps[:readMBps]]" with K/M/G suffixes —
 // into per-device SSD configs for Options.SSDConfigs.
 func ParseTierSpec(spec string) ([]ssd.Config, error) { return core.ParseTierSpec(spec) }
+
+// ParseSplitKeys parses the cmd tools' -split flag — a comma-separated
+// list of range boundary keys — into Options.SplitKeys. Empty segments
+// are dropped; an empty spec returns nil (one all-covering range).
+func ParseSplitKeys(spec string) [][]byte {
+	var keys [][]byte
+	start := 0
+	for i := 0; i <= len(spec); i++ {
+		if i == len(spec) || spec[i] == ',' {
+			if i > start {
+				keys = append(keys, []byte(spec[start:i]))
+			}
+			start = i + 1
+		}
+	}
+	return keys
+}
