@@ -32,6 +32,7 @@ race:
 	$(GO) test -race -count=1 -run 'TestAsyncCompletionStress$$' ./internal/core
 	$(GO) test -race -count=1 -run 'TestAdaptiveWatermarkBurstStress$$' ./internal/core
 	$(GO) test -race -count=1 -run 'TestDiagPrismLoad$$' ./internal/bench
+	$(GO) test -race -count=1 -run 'TestDispatchContentionStress$$' ./internal/server
 
 # fmt-check fails (listing the files) if any file needs gofmt.
 fmt-check:
@@ -73,6 +74,7 @@ bench-record:
 	$(GO) run ./cmd/prism-bench -run replication -records 4000 -metrics-out $(BENCH_OUT)/BENCH_replication.json
 	$(GO) run ./cmd/prism-bench -run tiering -records 4000 -metrics-out $(BENCH_OUT)/BENCH_tiering.json
 	$(GO) run ./cmd/prism-bench -run rangescan -threads 4 -records 4000 -ops 4000 -value 256 -metrics-out $(BENCH_OUT)/BENCH_rangescan.json
+	$(GO) run ./cmd/prism-bench -run wire -threads 8 -records 3000 -ops 6000 -value 256 -metrics-out $(BENCH_OUT)/BENCH_wire.json
 
 # bench-check regenerates the trajectories into a scratch directory and
 # fails if any capture's virtual-time throughput regressed more than 25%
@@ -86,6 +88,7 @@ bench-check:
 	$(GO) run ./cmd/prism-bench -compare BENCH_replication.json,.bench-new/BENCH_replication.json
 	$(GO) run ./cmd/prism-bench -compare BENCH_tiering.json,.bench-new/BENCH_tiering.json
 	$(GO) run ./cmd/prism-bench -compare BENCH_rangescan.json,.bench-new/BENCH_rangescan.json
+	$(GO) run ./cmd/prism-bench -compare BENCH_wire.json,.bench-new/BENCH_wire.json
 
 # fuzz-smoke runs short fuzz passes over the RESP parser and the range
 # placement boundary table (decode/encode roundtrip + split-key

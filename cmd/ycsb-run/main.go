@@ -7,6 +7,7 @@
 //	ycsb-run -engine prism -workload A -metrics   # + JSON metrics snapshot
 //	ycsb-run -engine prism -workload A -shards 4  # sharded scale-out
 //	ycsb-run -engine prism -workload A -pipeline 32  # async pipelining
+//	ycsb-run -connect 127.0.0.1:6379 -workload A -conns 8  # wire mode
 //
 // Engines: prism, kvell, matrixkv, rocksdb-nvm, slm-db.
 // Workloads: L (load only), A, B, C, D, E, N (Nutanix mix).
@@ -28,6 +29,13 @@
 // -metrics prints the store's final obs snapshot (METRICS.md) as the last
 // output; -metrics-format selects json (default) or prom (Prometheus
 // text). Baselines without a registry print {} / nothing.
+// -connect ADDR skips the in-process engine entirely and drives the
+// workload over RESP against an already-running prism-server (start one
+// with cmd/prism-server): -conns connections, each pipelining -pipeline
+// commands in flight. Engine-shaping flags are ignored; throughput is
+// wall-clock, since the server's virtual clocks are not reachable over
+// the wire (use the in-process `wire` experiment for virtual-time
+// numbers).
 package main
 
 import (
@@ -63,6 +71,8 @@ func main() {
 		tiers      = flag.String("tiers", "", "heterogeneous SSD array with hot/cold tiering: size[:writeMBps[:readMBps]],... (Prism only)")
 		wmbps      = flag.Int64("ssd-write-mbps", 0, "override every SSD's write bandwidth, MB/s (Prism only; 0 = paper default)")
 		rmbps      = flag.Int64("ssd-read-mbps", 0, "override every SSD's read bandwidth, MB/s (Prism only; 0 = paper default)")
+		connect    = flag.String("connect", "", "drive the workload over RESP against a running server at this address instead of an in-process engine")
+		conns      = flag.Int("conns", 8, "client connections in -connect mode")
 	)
 	flag.Parse()
 	if *mformat != "json" && *mformat != "prom" {
@@ -92,6 +102,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(1)
+	}
+
+	if *connect != "" {
+		runWire(*connect, w, bench.RunConfig{
+			Records:   *records,
+			Ops:       *ops,
+			ValueSize: *value,
+			Zipfian:   *zipf,
+			Seed:      *seed,
+		}, *conns, *pipeline)
+		return
 	}
 
 	th := *threads
@@ -166,4 +187,33 @@ func report(phase string, r bench.Result) {
 	fmt.Printf("%-8s %8.1f Kops/sec  (%d ops in %.2f virtual ms, %d errors)\n",
 		phase, r.KOpsPerSec(), r.Ops, float64(r.VirtualNS)/1e6, r.Errors)
 	fmt.Printf("         latency %s\n", r.Lat)
+}
+
+// runWire drives load + workload phases over RESP connections against a
+// running server. Throughput is wall-clock: the server's virtual device
+// clocks are on the far side of the socket.
+func runWire(addr string, w ycsb.Workload, rc bench.RunConfig, conns, depth int) {
+	load, err := bench.RunWire(addr, ycsb.Load, rc, conns, depth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reportWire("LOAD", load, conns, depth)
+	if w != ycsb.Load {
+		r, err := bench.RunWire(addr, w, rc, conns, depth)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reportWire("YCSB-"+string(w), r, conns, depth)
+	}
+}
+
+func reportWire(phase string, r bench.WireResult, conns, depth int) {
+	kops := 0.0
+	if r.WallNS > 0 {
+		kops = float64(r.Ops) / (float64(r.WallNS) / 1e9) / 1e3
+	}
+	fmt.Printf("%-8s %8.1f Kops/sec wall  (%d ops in %.2f ms over %d conns x depth %d, %d error replies)\n",
+		phase, kops, r.Ops, float64(r.WallNS)/1e6, conns, depth, r.Errors)
 }

@@ -816,6 +816,7 @@ var Experiments = map[string]func(rc RunConfig) []Table{
 	"replication": func(rc RunConfig) []Table { return []Table{Replication(rc)} },
 	"tiering":     func(rc RunConfig) []Table { return []Table{Tiering(rc)} },
 	"rangescan":   func(rc RunConfig) []Table { return []Table{RangeScan(rc)} },
+	"wire":        func(rc RunConfig) []Table { return []Table{Wire(rc)} },
 }
 
 // ExperimentNames returns the sorted experiment list.

@@ -236,3 +236,42 @@ func TestMultiExecPipelinedAcrossConnections(t *testing.T) {
 		t.Fatalf("core.batch_size{op=put} missing: %+v ok=%v", m, ok)
 	}
 }
+
+// TestMultiQueueCopiesArgs is the parser-reuse safety gate: commands
+// queued inside a MULTI block outlive their parse frame, and the parser
+// arena is rewritten by every subsequent command on the connection. If
+// the queue retained the parser's args instead of copying them, the
+// second queued SET here (same key/value lengths as the first, so it
+// overlays the arena byte-for-byte) would corrupt the first, and EXEC
+// would write key2's bytes twice.
+func TestMultiQueueCopiesArgs(t *testing.T) {
+	_, addr := start(t, server.Config{})
+	c := dial(t, addr)
+
+	if r, err := c.Do("MULTI"); err != nil || r.Str != "OK" {
+		t.Fatalf("MULTI: %+v, %v", r, err)
+	}
+	if r, err := c.Do("SET", "key1", "AAAA"); err != nil || r.Str != "QUEUED" {
+		t.Fatalf("queue SET key1: %+v, %v", r, err)
+	}
+	if r, err := c.Do("SET", "key2", "BBBB"); err != nil || r.Str != "QUEUED" {
+		t.Fatalf("queue SET key2: %+v, %v", r, err)
+	}
+	// A queued multi-key verb too: MGET's keys must also survive.
+	if r, err := c.Do("MGET", "key1", "key2"); err != nil || r.Str != "QUEUED" {
+		t.Fatalf("queue MGET: %+v, %v", r, err)
+	}
+	r, err := c.Do("EXEC")
+	if err != nil || len(r.Elems) != 3 {
+		t.Fatalf("EXEC: %+v, %v", r, err)
+	}
+	mget := r.Elems[2]
+	if len(mget.Elems) != 2 || mget.Elems[0].Str != "AAAA" || mget.Elems[1].Str != "BBBB" {
+		t.Fatalf("EXEC MGET saw corrupted queue: %+v", mget)
+	}
+	for k, want := range map[string]string{"key1": "AAAA", "key2": "BBBB"} {
+		if r, err := c.Do("GET", k); err != nil || r.Str != want {
+			t.Fatalf("GET %s = %+v (%v), want %q", k, r, err, want)
+		}
+	}
+}

@@ -21,7 +21,13 @@ func readAll(t *testing.T, input string) ([][][]byte, error) {
 			return cmds, err
 		}
 		if len(args) > 0 {
-			cmds = append(cmds, args)
+			// args live in the reader's arena and die at the next
+			// ReadCommand, so retaining them here requires a deep copy.
+			cp := make([][]byte, len(args))
+			for i, a := range args {
+				cp[i] = append([]byte(nil), a...)
+			}
+			cmds = append(cmds, cp)
 		}
 	}
 }
@@ -161,4 +167,129 @@ func TestReaderBoundsAllocation(t *testing.T) {
 	if !errors.As(err, &pe) {
 		t.Fatalf("oversized bulk accepted: %v", err)
 	}
+}
+
+// loopReader replays one byte sequence forever, so an allocation gate
+// can feed the parser an endless command stream with a zero-cost source.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+// Command parsing must not allocate at steady state: argument bytes land
+// in the per-connection arena and the argument vector is reused, so GET,
+// SET, and a 16-key MGET all parse with zero allocations per frame. This
+// mirrors the reply-writer gate (TestWriterZeroAllocs) on the read side.
+func TestReadCommandZeroAllocs(t *testing.T) {
+	frames := map[string]string{
+		"GET":    "*2\r\n$3\r\nGET\r\n$4\r\nkey1\r\n",
+		"SET":    "*3\r\n$3\r\nSET\r\n$4\r\nkey1\r\n$64\r\n" + strings.Repeat("v", 64) + "\r\n",
+		"MGET":   "*17\r\n$4\r\nMGET\r\n" + strings.Repeat("$6\r\nkey000\r\n", 16),
+		"inline": "GET key1\r\n",
+	}
+	for name, frame := range frames {
+		t.Run(name, func(t *testing.T) {
+			r := newRespReader(&loopReader{data: []byte(frame)}, 0, 0)
+			defer r.release()
+			// Warm up so the arena and argument vector reach steady state.
+			for i := 0; i < 4; i++ {
+				if _, err := r.ReadCommand(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := r.ReadCommand(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("parsing allocates %.1f times per frame, want 0", allocs)
+			}
+		})
+	}
+}
+
+// parseInt must agree with strconv.ParseInt on the protocol-relevant
+// inputs and reject everything else, without allocating.
+func TestParseInt(t *testing.T) {
+	good := map[string]int64{
+		"0": 0, "7": 7, "1024": 1024, "-1": -1, "+15": 15,
+		"9223372036854775807": 9223372036854775807,
+	}
+	for in, want := range good {
+		got, err := parseInt([]byte(in))
+		if err != nil || got != want {
+			t.Errorf("parseInt(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	bad := []string{"", "-", "+", "abc", "12x", " 1", "1 ", "9223372036854775808", "99999999999999999999"}
+	for _, in := range bad {
+		if _, err := parseInt([]byte(in)); err == nil {
+			t.Errorf("parseInt(%q) accepted, want error", in)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		parseInt([]byte("123456789"))
+		parseInt([]byte("not-a-number"))
+	})
+	if allocs != 0 {
+		t.Fatalf("parseInt allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// The arena contract: args returned by ReadCommand are invalidated by
+// the next ReadCommand. The test proves both halves — the same backing
+// memory really is reused (so any handler that retained args would see
+// them change), and a deep copy survives.
+func TestParserArenaReuse(t *testing.T) {
+	input := "*3\r\n$3\r\nSET\r\n$4\r\nkey1\r\n$4\r\nval1\r\n" +
+		"*3\r\n$3\r\nSET\r\n$4\r\nkey2\r\n$4\r\nval2\r\n"
+	r := newRespReader(strings.NewReader(input), 0, 0)
+	first, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied := append([]byte(nil), first[1]...)
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	// The retained (uncopied) arg now aliases the second frame's bytes.
+	if !bytes.Equal(first[1], []byte("key2")) {
+		t.Fatalf("expected arena reuse to overwrite retained arg, got %q", first[1])
+	}
+	if !bytes.Equal(copied, []byte("key1")) {
+		t.Fatalf("copied arg corrupted: %q", copied)
+	}
+}
+
+// One oversized frame must not pin its arena forever: after the frame is
+// consumed, the next ReadCommand drops an arena grown past the retain
+// bound, and release never pools one.
+func TestParserArenaShrinks(t *testing.T) {
+	big := strings.Repeat("x", 1<<20)
+	input := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1048576\r\n" + big + "\r\n" +
+		"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"
+	r := newRespReader(strings.NewReader(input), 0, 0)
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(r.arena) < 1<<20 {
+		t.Fatalf("arena did not grow for the big frame: cap=%d", cap(r.arena))
+	}
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(r.arena) > arenaRetainBytes {
+		t.Fatalf("arena cap %d retained past the %d bound", cap(r.arena), arenaRetainBytes)
+	}
+	r.release()
 }

@@ -1,8 +1,20 @@
 // Package respclient is a minimal RESP2 client used by the server's
-// tests and by prism-cli's -connect mode, so the full wire loop — parse,
-// dispatch, epoch enter/exit, reply encode — is exercisable without any
-// external binary. It supports explicit pipelining (Send/Flush/Receive)
-// on top of the one-shot Do.
+// tests, by prism-cli's -connect mode, and by ycsb-run's wire mode, so
+// the full wire loop — parse, dispatch, epoch enter/exit, reply encode —
+// is exercisable without any external binary.
+//
+// Three pipelining levels are offered. Do is one round trip. Send/Flush/
+// Receive is manual pipelining with the bookkeeping on the caller. Go/
+// Drain is managed pipelining: Go queues a command and accounts it
+// in-flight, transparently flushing and consuming replies (through the
+// OnReply callback) whenever the window of MaxInFlight outstanding
+// replies fills, and Drain settles whatever remains — the shape a
+// benchmark driver wants, with reply memory bounded no matter how many
+// commands are issued.
+//
+// Timeout, when set, bounds every socket write (at flush) and every
+// reply read with a deadline, so a wedged server fails the client
+// instead of hanging it.
 //
 // A Client is not safe for concurrent use; open one per goroutine, as
 // you would a Redis connection.
@@ -40,11 +52,33 @@ func (r Reply) Err() error {
 	return nil
 }
 
+// DefaultMaxInFlight is the Go/Drain pipelining window when
+// Client.MaxInFlight is unset.
+const DefaultMaxInFlight = 64
+
 // Client is one RESP connection.
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	// Timeout, when > 0, bounds each socket flush and each reply read
+	// with a write/read deadline. Zero means no deadlines (test servers
+	// on loopback).
+	Timeout time.Duration
+
+	// MaxInFlight bounds outstanding replies under Go before the client
+	// transparently flushes and consumes one (default DefaultMaxInFlight).
+	MaxInFlight int
+
+	// OnReply, when set, observes every reply consumed by Go/Drain. A
+	// non-nil return stops the pipeline and surfaces from Go/Drain.
+	// When nil, replies are checked for transport decodability and
+	// discarded (RESP error replies do NOT fail the pipeline — count
+	// them in OnReply if they matter).
+	OnReply func(Reply) error
+
+	inflight int
 }
 
 // Dial connects to a RESP server at addr.
@@ -81,25 +115,105 @@ func (c *Client) Send(args ...string) error {
 }
 
 // Flush writes all queued commands to the socket.
-func (c *Client) Flush() error { return c.bw.Flush() }
+func (c *Client) Flush() error {
+	if err := c.setWriteDeadline(); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
 
 // Receive reads one reply.
-func (c *Client) Receive() (Reply, error) { return c.readReply() }
+func (c *Client) Receive() (Reply, error) {
+	if err := c.setReadDeadline(); err != nil {
+		return Reply{}, err
+	}
+	return c.readReply()
+}
 
 // Do sends one command and waits for its reply. A RESP error reply is
 // returned as the error (with the zero-value reply intact in r.Kind).
+// Replies still owed to earlier Go calls are drained first, preserving
+// the wire's request/reply pairing.
 func (c *Client) Do(args ...string) (Reply, error) {
+	if c.inflight > 0 {
+		if err := c.Drain(); err != nil {
+			return Reply{}, err
+		}
+	}
 	if err := c.Send(args...); err != nil {
 		return Reply{}, err
 	}
 	if err := c.Flush(); err != nil {
 		return Reply{}, err
 	}
-	r, err := c.readReply()
+	r, err := c.Receive()
 	if err != nil {
 		return Reply{}, err
 	}
 	return r, r.Err()
+}
+
+// Go queues one pipelined command. When MaxInFlight replies are already
+// outstanding, it flushes and consumes exactly one reply (via OnReply)
+// before queueing, so the in-flight window — and therefore both ends'
+// buffered memory — stays bounded while the pipe runs at full depth.
+func (c *Client) Go(args ...string) error {
+	limit := c.MaxInFlight
+	if limit <= 0 {
+		limit = DefaultMaxInFlight
+	}
+	if c.inflight >= limit {
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		if err := c.consume(1); err != nil {
+			return err
+		}
+	}
+	if err := c.Send(args...); err != nil {
+		return err
+	}
+	c.inflight++
+	return nil
+}
+
+// Drain flushes queued commands and consumes every outstanding reply.
+func (c *Client) Drain() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.consume(c.inflight)
+}
+
+// consume reads n pipelined replies, feeding each to OnReply.
+func (c *Client) consume(n int) error {
+	for ; n > 0; n-- {
+		r, err := c.Receive()
+		if err != nil {
+			return err
+		}
+		c.inflight--
+		if c.OnReply != nil {
+			if err := c.OnReply(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Client) setReadDeadline() error {
+	if c.Timeout <= 0 {
+		return nil
+	}
+	return c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+}
+
+func (c *Client) setWriteDeadline() error {
+	if c.Timeout <= 0 {
+		return nil
+	}
+	return c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
 }
 
 func (c *Client) readLine() ([]byte, error) {

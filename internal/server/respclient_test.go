@@ -1,0 +1,179 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/respclient"
+)
+
+// TestClientPipelinedGoDrain is the respclient e2e test: several
+// connections drive the managed Go/Drain pipeline concurrently with a
+// small MaxInFlight window, every reply is verified in OnReply (order
+// and content), and the final store state is checked over a fresh
+// connection. Since the window (8) is far smaller than the command count
+// per connection, the bounded-in-flight refill path is exercised
+// constantly, not just at Drain.
+func TestClientPipelinedGoDrain(t *testing.T) {
+	store, addr := start(t, server.Config{})
+
+	const (
+		conns = 4
+		keys  = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := respclient.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			c.Timeout = 10 * time.Second
+			c.MaxInFlight = 8
+
+			// Phase 1: pipeline SETs; every reply must be +OK.
+			var got int
+			c.OnReply = func(r respclient.Reply) error {
+				if r.Str != "OK" {
+					return fmt.Errorf("SET reply %d: %+v", got, r)
+				}
+				got++
+				return nil
+			}
+			for i := 0; i < keys; i++ {
+				if err := c.Go("SET", key(ci, i), val(ci, i)); err != nil {
+					errs <- fmt.Errorf("conn %d Go SET %d: %w", ci, i, err)
+					return
+				}
+			}
+			if err := c.Drain(); err != nil {
+				errs <- fmt.Errorf("conn %d drain SETs: %w", ci, err)
+				return
+			}
+			if got != keys {
+				errs <- fmt.Errorf("conn %d: %d SET replies, want %d", ci, got, keys)
+				return
+			}
+
+			// Phase 2: pipeline GETs; replies arrive in request order, so
+			// OnReply can verify values positionally.
+			got = 0
+			c.OnReply = func(r respclient.Reply) error {
+				if want := val(ci, got); r.Str != want {
+					return fmt.Errorf("GET reply %d = %q, want %q", got, r.Str, want)
+				}
+				got++
+				return nil
+			}
+			for i := 0; i < keys; i++ {
+				if err := c.Go("GET", key(ci, i)); err != nil {
+					errs <- fmt.Errorf("conn %d Go GET %d: %w", ci, i, err)
+					return
+				}
+			}
+			if err := c.Drain(); err != nil {
+				errs <- fmt.Errorf("conn %d drain GETs: %w", ci, err)
+				return
+			}
+			if got != keys {
+				errs <- fmt.Errorf("conn %d: %d GET replies, want %d", ci, got, keys)
+				return
+			}
+
+			// Do after Go settles outstanding replies first.
+			c.OnReply = func(r respclient.Reply) error {
+				if r.Str != "OK" {
+					return fmt.Errorf("drained SET reply: %+v", r)
+				}
+				return nil
+			}
+			if err := c.Go("SET", key(ci, 0), "overwritten"); err != nil {
+				errs <- err
+				return
+			}
+			if r, err := c.Do("GET", key(ci, 0)); err != nil || r.Str != "overwritten" {
+				errs <- fmt.Errorf("conn %d Do-after-Go: %+v (%v)", ci, r, err)
+				return
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	c := dial(t, addr)
+	if r, err := c.Do("DBSIZE"); err != nil || r.Int != conns*keys {
+		t.Fatalf("DBSIZE = %+v (%v), want %d", r, err, conns*keys)
+	}
+	// The managed pipeline must actually have pipelined: bursts deeper
+	// than one command reached the server.
+	snap := store.Metrics()
+	if m, ok := snap.Get("server.pipeline_depth", nil); !ok || m.Hist == nil || m.Hist.Max < 2 {
+		t.Fatalf("server.pipeline_depth shows no pipelining: %+v ok=%v", m, ok)
+	}
+}
+
+func key(ci, i int) string { return fmt.Sprintf("c%d-key%04d", ci, i) }
+func val(ci, i int) string { return fmt.Sprintf("c%d-val%04d", ci, i) }
+
+// TestClientTimeout: a server that accepts and never replies must fail
+// the client's read with a deadline error instead of hanging it.
+func TestClientTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Swallow bytes forever, reply with nothing.
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	c, err := respclient.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 50 * time.Millisecond
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do("GET", "k")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var ne net.Error
+		if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("want timeout error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung despite Timeout")
+	}
+}

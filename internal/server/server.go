@@ -4,15 +4,21 @@
 // store (ROADMAP "network server" item).
 //
 // Threading model: Prism's engine hands out per-thread handles
-// (Store.Thread(i)) that are fast but not concurrency-safe. The server
-// pins each accepted connection to one handle round-robin; connections
-// sharing a handle serialize on a per-handle mutex, so N store threads
-// give N-way command parallelism regardless of connection count — the
-// paper's thread model (§4) carried across the wire. With sharding
-// enabled the handle is the router's: a connection whose keys hash to
-// one shard keeps that shard's pinned fast path, multi-key commands fan
-// out to the owning shards in parallel, and SCAN k-way merges per-shard
-// ordered scans — all transparent at the protocol level.
+// (Store.Thread(i)); the server pins each accepted connection to one
+// handle round-robin — the paper's thread model (§4) carried across the
+// wire. Dispatch is contention-free for the hot verbs: single-key
+// GET/SET/DEL/EXISTS are always submitted through the store's
+// asynchronous admission pipeline (core PutAsync/GetAsync/DeleteAsync),
+// whose entry points are concurrency-safe, so concurrent connections
+// pinned to one store thread queue their work in the admission ring
+// instead of convoying on a mutex. Only the multi-key verbs
+// (MGET/MSET/SCAN, multi-key DEL/EXISTS) and MULTI/EXEC blocks — which
+// need the handle's synchronous single-owner surface — serialize on the
+// per-handle mutex; the wall time spent acquiring it (or waiting out an
+// async burst) is visible as server.dispatch_wait. With sharding
+// enabled the handle is the router's: multi-key commands fan out to the
+// owning shards in parallel, and SCAN k-way merges per-shard ordered
+// scans — all transparent at the protocol level.
 //
 // Supported commands (RESP arrays or inline, case-insensitive):
 //
@@ -30,18 +36,21 @@
 // Pipelining: commands are executed in arrival order and replies are
 // buffered (bounded by Config.WriteBufBytes) until the input buffer
 // drains, so a deep pipeline costs one flush, not one per command.
-// Single-key GET/SET/DEL/EXISTS arriving as a pipelined burst go
-// further: each is submitted to the store's asynchronous admission
-// pipeline (core PutAsync/GetAsync/DeleteAsync) and its completion
-// handle is queued, so a burst of N commands coalesces into a handful
-// of admission windows — one epoch enter and one PWB publish window per
-// window instead of per command — while replies are still written in
-// protocol order when the burst drains. A lone command (nothing else
-// buffered, nothing pending) keeps the direct synchronous path, so
-// unpipelined clients see no added latency. The pending burst drains
+// Because single-key verbs always ride the async pipeline, a pipelined
+// burst of N commands coalesces into a handful of admission windows —
+// one epoch enter and one PWB publish window per window instead of per
+// command — while replies are still written in protocol order when the
+// burst drains. A lone command is the degenerate burst: submit, drain
+// immediately (submit+wait), reply. The pending burst always drains
 // before any other verb executes, which preserves the same-connection
 // guarantee: a command always observes the writes of every command
 // before it on that connection.
+//
+// Parsing and encoding are zero-allocation at steady state: commands
+// are parsed into a per-connection arena (args are valid only until the
+// next read — the MULTI queue, the one handler that retains them,
+// copies), and reader/writer buffers are pooled across connections via
+// sync.Pool, so connection churn reuses parser memory.
 //
 // Batching: MSET maps to the store's PutBatch and MGET to MultiGet, so a
 // multi-key command enters the epoch once instead of once per key. A
@@ -109,7 +118,9 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// lockedThread serializes the connections pinned to one store thread.
+// lockedThread guards a store thread's synchronous single-owner surface
+// (multi-key verbs, SCAN, MULTI/EXEC blocks). Single-key verbs bypass it
+// entirely: they ride the concurrency-safe async admission pipeline.
 type lockedThread struct {
 	mu sync.Mutex
 	th *shard.Thread
@@ -124,10 +135,12 @@ type queuedCmd struct {
 
 // pendingReply is one pipelined command in flight on the store's async
 // pipeline: the completion handle plus the verb that decides how to
-// render its result when the burst drains.
+// render its result when the burst drains, and the submit time that
+// feeds server.cmd_latency when the reply is finally written.
 type pendingReply struct {
-	verb string
-	h    *core.Handle
+	verb  string
+	h     *core.Handle
+	start time.Time
 }
 
 // maxPendingReplies bounds a connection's in-flight burst; past it the
@@ -338,6 +351,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	sess := &session{slot: s.threads[(s.next.Add(1)-1)%uint64(len(s.threads))]}
 	r := newRespReader(&countingReader{r: conn, n: s.m.bytesIn}, s.cfg.MaxArgs, s.cfg.MaxBulkBytes)
 	w := newRespWriter(&countingWriter{w: conn, n: s.m.bytesOut}, s.cfg.WriteBufBytes)
+	defer r.release()
+	defer w.release()
 
 	for {
 		// The deadline is refreshed per command, so it acts as an idle
@@ -360,11 +375,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(args) == 0 {
 			continue
 		}
-		// Pipelined fast path: while more commands are buffered behind
-		// this one (or a burst is already in flight), single-key verbs are
-		// submitted asynchronously and their replies deferred, so the
-		// admission loop coalesces the burst into a few windows.
-		if (r.buffered() || len(sess.pending) > 0) && s.tryAsync(sess, args) {
+		// Contention-free fast path: single-key verbs are always
+		// submitted asynchronously — no thread-slot mutex — and their
+		// replies deferred, so the admission loop coalesces pipelined
+		// bursts into a few windows and concurrent connections on one
+		// store thread queue instead of convoying. A lone command drains
+		// immediately below (submit+wait).
+		if s.tryAsync(sess, args) {
 			if len(sess.pending) >= maxPendingReplies {
 				s.drainPipeline(sess, w)
 			}
@@ -402,7 +419,7 @@ func (s *Server) tryAsync(sess *session, args [][]byte) bool {
 	if sess.inMulti {
 		return false
 	}
-	verb := strings.ToUpper(string(args[0]))
+	verb := verbOf(args[0])
 	th := sess.slot.th
 	var h *core.Handle
 	switch verb {
@@ -431,18 +448,21 @@ func (s *Server) tryAsync(sess *session, args [][]byte) bool {
 	}
 	s.countCommand(verb)
 	s.m.pipelineOps.Inc()
-	sess.pending = append(sess.pending, pendingReply{verb: verb, h: h})
+	sess.pending = append(sess.pending, pendingReply{verb: verb, h: h, start: time.Now()})
 	return true
 }
 
 // drainPipeline waits out the connection's in-flight burst and writes
-// the replies in protocol order.
+// the replies in protocol order. The wall time blocked on completion
+// handles feeds server.dispatch_wait; each command's submit-to-reply
+// time feeds server.cmd_latency.
 func (s *Server) drainPipeline(sess *session, w *respWriter) {
 	if len(sess.pending) == 0 {
 		return
 	}
 	s.m.pipelineBursts.Inc()
 	s.m.pipelineDepth.Record(int64(len(sess.pending)))
+	wait0 := time.Now()
 	for i := range sess.pending {
 		p := &sess.pending[i]
 		switch p.verb {
@@ -481,19 +501,85 @@ func (s *Server) drainPipeline(sess *session, w *respWriter) {
 				w.writeError("ERR " + err.Error())
 			}
 		}
+		s.m.recordCmdLatency(p.verb, time.Since(p.start))
 		p.h = nil
 	}
+	s.m.dispatchWait.Record(time.Since(wait0).Nanoseconds())
 	sess.pending = sess.pending[:0]
+}
+
+// verbOf returns the canonical uppercase verb for a command name. Known
+// verbs return interned constants without allocating (the dispatch hot
+// path); unknown verbs fall back to an allocated uppercase copy.
+func verbOf(b []byte) string {
+	var buf [8]byte
+	if len(b) > len(buf) {
+		return strings.ToUpper(string(b))
+	}
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	switch string(buf[:len(b)]) {
+	case "GET":
+		return "GET"
+	case "SET":
+		return "SET"
+	case "DEL":
+		return "DEL"
+	case "EXISTS":
+		return "EXISTS"
+	case "MGET":
+		return "MGET"
+	case "MSET":
+		return "MSET"
+	case "SCAN":
+		return "SCAN"
+	case "PING":
+		return "PING"
+	case "ECHO":
+		return "ECHO"
+	case "MULTI":
+		return "MULTI"
+	case "EXEC":
+		return "EXEC"
+	case "DISCARD":
+		return "DISCARD"
+	case "DBSIZE":
+		return "DBSIZE"
+	case "INFO":
+		return "INFO"
+	case "COMMAND":
+		return "COMMAND"
+	case "QUIT":
+		return "QUIT"
+	}
+	return strings.ToUpper(string(b))
+}
+
+// copyArgs deep-copies a parsed argument vector. The parser's args live
+// in a reused arena and die at the next ReadCommand, so any handler
+// that retains them past the current command (the MULTI queue) copies.
+func copyArgs(args [][]byte) [][]byte {
+	cp := make([][]byte, len(args))
+	for i, a := range args {
+		cp[i] = append([]byte(nil), a...)
+	}
+	return cp
 }
 
 // dispatch executes one command and writes its reply. It returns true
 // when the connection should close (QUIT).
 func (s *Server) dispatch(sess *session, w *respWriter, args [][]byte) (quit bool) {
-	verb := strings.ToUpper(string(args[0]))
+	verb := verbOf(args[0])
 	s.countCommand(verb)
 	wall0 := time.Now()
 	defer func() {
-		s.m.wallLat.Record(time.Since(wall0).Nanoseconds())
+		d := time.Since(wall0).Nanoseconds()
+		s.m.wallLat.Record(d)
+		s.m.recordCmdLatency(verb, time.Duration(d))
 	}()
 
 	// Transaction control verbs run immediately even inside a block.
@@ -547,9 +633,10 @@ func (s *Server) dispatch(sess *session, w *respWriter, args [][]byte) (quit boo
 			w.writeError(fmt.Sprintf("ERR MULTI queue exceeds %d commands", s.cfg.MaxMultiQueued))
 			return false
 		}
-		// args' bulk strings are freshly allocated by the parser, so
-		// retaining them until EXEC is safe.
-		sess.queued = append(sess.queued, queuedCmd{verb: verb, args: args})
+		// args live in the parser's reused arena and are invalidated by
+		// the next read, so queueing until EXEC requires a deep copy
+		// (asserted by TestMultiQueueCopiesArgs).
+		sess.queued = append(sess.queued, queuedCmd{verb: verb, args: copyArgs(args)})
 		w.writeSimple("QUEUED")
 		return false
 	}
@@ -557,7 +644,7 @@ func (s *Server) dispatch(sess *session, w *respWriter, args [][]byte) (quit boo
 	switch verb {
 	case "GET", "SET", "DEL", "EXISTS", "MGET", "MSET", "SCAN":
 		slot := sess.slot
-		slot.mu.Lock()
+		s.lockSlot(slot)
 		th := slot.th
 		v0 := th.Clk.Now()
 		s.execStore(sess, th, w, verb, args)
@@ -567,6 +654,17 @@ func (s *Server) dispatch(sess *session, w *respWriter, args [][]byte) (quit boo
 		s.execSimple(w, verb, args)
 	}
 	return false
+}
+
+// lockSlot acquires a thread slot's mutex, recording the wall time spent
+// blocked behind other connections as server.dispatch_wait.
+func (s *Server) lockSlot(slot *lockedThread) {
+	if slot.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	slot.mu.Lock()
+	s.m.dispatchWait.Record(time.Since(t0).Nanoseconds())
 }
 
 // queueCheck validates a verb and its arity at MULTI queue time. It
@@ -612,7 +710,7 @@ func (s *Server) execMulti(sess *session, w *respWriter) {
 	q := sess.queued
 	w.writeArrayHeader(len(q))
 	slot := sess.slot
-	slot.mu.Lock()
+	s.lockSlot(slot)
 	defer slot.mu.Unlock()
 	th := slot.th
 	v0 := th.Clk.Now()

@@ -245,11 +245,28 @@ func TestEndToEndPipelinedWorkload(t *testing.T) {
 			t.Fatalf("%s = %v ok=%v, want > 0", name, v, ok)
 		}
 	}
+	// MGET takes the locked synchronous path, which is what feeds the
+	// virtual-time histogram (async verbs are timed by cmd_latency).
+	if r, err := c.Do("MGET", fmt.Sprintf("c0-r%d-k0", rounds-1), "nope"); err != nil || len(r.Elems) != 2 {
+		t.Fatalf("MGET: %+v, %v", r, err)
+	}
+	snap = store.Metrics()
 	if m, ok := snap.Get("server.cmd_virtual_ns", nil); !ok || m.Hist == nil || m.Hist.Count == 0 {
 		t.Fatalf("server.cmd_virtual_ns missing or empty: %+v ok=%v", m, ok)
 	}
 	if m, ok := snap.Get("server.cmd_wall_ns", nil); !ok || m.Hist == nil || m.Hist.Count == 0 {
 		t.Fatalf("server.cmd_wall_ns missing or empty: %+v ok=%v", m, ok)
+	}
+	// Every wire command lands in exactly one cmd_latency class; the
+	// GET/SET/DEL workload must populate read and write.
+	for _, class := range []string{"read", "write"} {
+		m, ok := snap.Get("server.cmd_latency", map[string]string{"class": class})
+		if !ok || m.Hist == nil || m.Hist.Count == 0 {
+			t.Fatalf("server.cmd_latency{class=%s} missing or empty: %+v ok=%v", class, m, ok)
+		}
+	}
+	if m, ok := snap.Get("server.dispatch_wait", nil); !ok || m.Hist == nil || m.Hist.Count == 0 {
+		t.Fatalf("server.dispatch_wait missing or empty: %+v ok=%v", m, ok)
 	}
 
 	// The same metrics over the wire via INFO.
